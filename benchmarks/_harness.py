@@ -1,0 +1,88 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` regenerates one table/figure from the paper's
+evaluation (see DESIGN.md's per-experiment index).  Conventions:
+
+* every test takes pytest-benchmark's ``benchmark`` fixture so the suite
+  runs under ``pytest benchmarks/ --benchmark-only``;
+* simulation-time experiments wrap a single run in
+  ``benchmark.pedantic(..., rounds=1)`` — their *result* is the printed
+  paper-vs-measured table, not the wall time;
+* wall-clock experiments (the gathering ladder) use ``benchmark`` directly
+  so pytest-benchmark's stats are the measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Sequence
+
+from repro.firmware import LinuxBIOS, install_firmware
+from repro.hardware import SimulatedNode, WorkloadSegment
+from repro.network import NetworkFabric
+from repro.sim import RandomStreams, SimKernel
+
+__all__ = ["print_table", "measure_rate", "build_fabric_cluster",
+           "steady_node"]
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> None:
+    """Render one experiment table to stdout (captured into bench output)."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)] if rows else \
+        [len(str(h)) for h in headers]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def measure_rate(fn: Callable[[], object], *, min_time: float = 0.25,
+                 warmup: int = 3) -> float:
+    """Calls/second of ``fn`` measured over at least ``min_time`` seconds."""
+    for _ in range(warmup):
+        fn()
+    count = 0
+    start = time.perf_counter()
+    deadline = start + min_time
+    while True:
+        fn()
+        count += 1
+        now = time.perf_counter()
+        if now >= deadline:
+            return count / (now - start)
+
+
+def steady_node(kernel: SimKernel, *, cpu: float = 0.7,
+                memory: int = 512 << 20) -> SimulatedNode:
+    """One booted node with a steady workload, advanced to t=100."""
+    node = SimulatedNode(kernel, "bench", node_id=1)
+    node.power_on()
+    node.workload.add(WorkloadSegment(start=0, duration=1e9, cpu=cpu,
+                                      memory=memory, net_tx=1e6,
+                                      net_rx=1e6))
+    kernel.run(until=100.0)
+    return node
+
+
+def build_fabric_cluster(n_nodes: int, *, seed: int = 42,
+                         segment_capacity: float = 12.5e6):
+    """(kernel, fabric, master, nodes): booted LinuxBIOS nodes on one segment."""
+    kernel = SimKernel()
+    streams = RandomStreams(seed)
+    fabric = NetworkFabric(kernel, segment_capacity=segment_capacity)
+    master = SimulatedNode(kernel, "mgmt", node_id=60000)
+    master.power_on()
+    fabric.attach(master)
+    nodes: List[SimulatedNode] = []
+    for i in range(n_nodes):
+        node = SimulatedNode(kernel, f"n{i:04d}", node_id=i + 1)
+        install_firmware(node, LinuxBIOS())
+        fabric.attach(node)
+        node.power_on()
+        nodes.append(node)
+    kernel.run()
+    return kernel, fabric, master, nodes, streams

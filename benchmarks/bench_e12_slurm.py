@@ -1,0 +1,159 @@
+"""E12 — SLURM-lite resource management (§6).
+
+The paper sketches SLURM's functions: allocation, job launch/monitoring,
+queue arbitration, an external-scheduler API, and tolerance of controller
+failure.  Regenerated: backfill-vs-FIFO utilization/makespan on a mixed
+job stream (the DESIGN.md scheduling ablation), submission throughput,
+and failover continuity.
+"""
+
+import pytest
+
+from _harness import print_table
+from repro.hardware import SimulatedNode
+from repro.sim import RandomStreams, SimKernel
+from repro.slurm import (
+    BackfillScheduler,
+    FIFOScheduler,
+    FailoverPair,
+    Job,
+    JobState,
+    SlurmController,
+)
+
+N_NODES = 32
+N_JOBS = 60
+
+
+def _job_stream(rng):
+    """A mixed stream: mostly small/short jobs, some wide blockers."""
+    jobs = []
+    for i in range(N_JOBS):
+        if i % 10 == 3:
+            n_nodes, duration = N_NODES, float(rng.uniform(100, 200))
+        elif i % 10 == 7:
+            n_nodes, duration = N_NODES // 2, float(rng.uniform(200, 400))
+        else:
+            n_nodes = int(rng.integers(1, 5))
+            duration = float(rng.uniform(30, 120))
+        jobs.append(dict(name=f"j{i}", user="mix", n_nodes=n_nodes,
+                         duration=duration, time_limit=duration * 1.5,
+                         submit_at=float(i) * 5.0))
+    return jobs
+
+
+def _run_schedule(scheduler):
+    kernel = SimKernel()
+    rng = RandomStreams(55)("jobs")
+    nodes = [SimulatedNode(kernel, f"s{i:03d}", node_id=i + 1)
+             for i in range(N_NODES)]
+    for node in nodes:
+        node.power_on()
+    ctl = SlurmController(kernel, scheduler=scheduler)
+    for node in nodes:
+        ctl.register_node(node)
+    specs = _job_stream(rng)
+    jobs = []
+
+    def submitter():
+        for spec in specs:
+            delay = spec["submit_at"] - kernel.now
+            if delay > 0:
+                yield kernel.timeout(delay)
+            jobs.append(ctl.submit(Job(
+                name=spec["name"], user=spec["user"],
+                n_nodes=spec["n_nodes"], duration=spec["duration"],
+                time_limit=spec["time_limit"])))
+
+    kernel.process(submitter())
+    kernel.run()
+    makespan = max(j.end_time for j in jobs)
+    node_seconds_used = sum((j.end_time - j.start_time) * len(j.allocated)
+                            for j in jobs)
+    utilization = node_seconds_used / (makespan * N_NODES)
+    waits = [j.wait_time for j in jobs]
+    return {
+        "makespan": makespan,
+        "utilization": utilization,
+        "mean_wait": sum(waits) / len(waits),
+        "completed": sum(1 for j in jobs
+                         if j.state == JobState.COMPLETED),
+    }
+
+
+def test_backfill_vs_fifo(benchmark):
+    def run():
+        return {"fifo": _run_schedule(FIFOScheduler()),
+                "backfill": _run_schedule(BackfillScheduler())}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{r['makespan']:.0f}",
+             f"{r['utilization'] * 100:.0f}%",
+             f"{r['mean_wait']:.0f}", r["completed"]]
+            for name, r in results.items()]
+    print_table(
+        f"E12a: {N_JOBS} mixed jobs on {N_NODES} nodes",
+        ["scheduler", "makespan s", "utilization", "mean wait s",
+         "completed"], rows)
+    fifo, backfill = results["fifo"], results["backfill"]
+    assert fifo["completed"] == backfill["completed"] == N_JOBS
+    assert backfill["makespan"] <= fifo["makespan"]
+    assert backfill["mean_wait"] < fifo["mean_wait"]
+    assert backfill["utilization"] >= fifo["utilization"]
+
+
+def test_submission_throughput(benchmark):
+    """Queue arbitration cost: submissions/second of controller work."""
+    kernel = SimKernel()
+    nodes = [SimulatedNode(kernel, f"t{i}", node_id=i + 1)
+             for i in range(16)]
+    for node in nodes:
+        node.power_on()
+    ctl = SlurmController(kernel)
+    for node in nodes:
+        ctl.register_node(node)
+
+    def submit_one():
+        ctl.submit(Job(name="u", user="bench", n_nodes=1,
+                       time_limit=1e9, duration=1e8))
+
+    benchmark.pedantic(submit_one, rounds=200, iterations=1)
+    assert len(ctl.running) + len(ctl.queue) == 200
+
+
+def test_failover_continuity(benchmark):
+    def run():
+        kernel = SimKernel()
+        nodes = [SimulatedNode(kernel, f"f{i}", node_id=i + 1)
+                 for i in range(8)]
+        for node in nodes:
+            node.power_on()
+        ctl_host = SimulatedNode(kernel, "primary", node_id=100)
+        ctl_host.power_on()
+        bak_host = SimulatedNode(kernel, "backup", node_id=101)
+        bak_host.power_on()
+        primary = SlurmController(kernel, host=ctl_host)
+        backup = SlurmController(kernel, host=bak_host, name="backup")
+        for node in nodes:
+            primary.register_node(node)
+        pair = FailoverPair(kernel, primary, backup, check_interval=5.0)
+        jobs = [pair.submit(Job(name=f"w{i}", user="u", n_nodes=2,
+                                time_limit=400, duration=120))
+                for i in range(12)]
+        kernel.run(until=60)
+        ctl_host.crash("controller host died")
+        kernel.run()
+        return pair, jobs
+
+    pair, jobs = benchmark.pedantic(run, rounds=1, iterations=1)
+    completed = sum(1 for j in jobs if j.state == JobState.COMPLETED)
+    print_table(
+        "E12b: controller failover continuity (12 jobs, primary killed "
+        "at t=60)",
+        ["metric", "value"],
+        [["failed over", pair.failed_over],
+         ["failover time (s)", f"{pair.failover_time:.0f}"],
+         ["jobs completed", completed],
+         ["jobs lost", len(jobs) - completed]])
+    assert pair.failed_over
+    assert completed == 12  # nothing lost across the failover

@@ -1,0 +1,69 @@
+"""E2 — per-proc-file gathering cost (§5.3.1).
+
+Paper (1 GHz P-III, rung-4 gatherer):
+
+    /proc/stat      35.0 us/call
+    /proc/meminfo   29.5 us/call
+    /proc/net/dev   21.6 us/call (per device)
+    /proc/loadavg    7.5 us/call
+    /proc/uptime     6.2 us/call
+
+The reproducible claim is the *ordering* — stat is the most expensive
+(its intr line carries NR_IRQS counters), the tiny files are cheapest.
+"""
+
+import pytest
+
+from _harness import measure_rate, print_table, steady_node
+from repro.monitoring.gathering import GATHER_PATHS, make_gatherer
+from repro.procfs import ProcFilesystem
+from repro.sim import SimKernel
+
+PAPER_US = {
+    "/proc/stat": 35.0,
+    "/proc/meminfo": 29.5,
+    "/proc/net/dev": 21.6,
+    "/proc/loadavg": 7.5,
+    "/proc/uptime": 6.2,
+}
+
+
+@pytest.fixture(scope="module")
+def fs():
+    kernel = SimKernel()
+    node = steady_node(kernel)
+    return ProcFilesystem(node)
+
+
+@pytest.mark.parametrize("path", GATHER_PATHS)
+def test_per_file_gather(benchmark, fs, path):
+    gatherer = make_gatherer("persistent", fs, path)
+    try:
+        benchmark(gatherer.sample)
+    finally:
+        gatherer.close()
+
+
+def test_per_file_summary(benchmark, fs):
+    def run():
+        costs = {}
+        for path in GATHER_PATHS:
+            gatherer = make_gatherer("persistent", fs, path)
+            try:
+                costs[path] = 1e6 / measure_rate(gatherer.sample)
+            finally:
+                gatherer.close()
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[p, f"{costs[p]:.1f}", f"{PAPER_US[p]:.1f}"]
+            for p in sorted(costs, key=costs.get, reverse=True)]
+    print_table("E2: per-file gathering cost (rung 4)",
+                ["file", "measured us/call", "paper us/call"], rows)
+
+    # Ordering claims: stat dominates; loadavg/uptime are the cheap tail.
+    assert costs["/proc/stat"] == max(costs.values())
+    assert costs["/proc/stat"] > costs["/proc/meminfo"]
+    assert costs["/proc/meminfo"] > costs["/proc/uptime"]
+    assert costs["/proc/loadavg"] < costs["/proc/meminfo"]
+    assert costs["/proc/uptime"] < costs["/proc/meminfo"]

@@ -1,0 +1,119 @@
+"""E4 — multicast disk cloning at scale (§4, footnote 2).
+
+Paper: "It took about 12 min. to clone and reboot over 400 nodes of the
+Lawrence Livermore cluster" — over a single fast Ethernet, using reliable
+multicast; and "even a single fast ethernet is sufficient to clone several
+hundred nodes simultaneously".
+
+Regenerated here: total clone+reboot time vs node count for the multicast
+protocol and both unicast baselines.  The shape to reproduce: multicast is
+~flat in node count (minutes); unicast grows linearly (hours at 400
+nodes).
+"""
+
+import pytest
+
+from _harness import build_fabric_cluster, print_table
+from repro.imaging import (
+    ImageManager,
+    MulticastCloner,
+    ParallelUnicastCloner,
+    SequentialUnicastCloner,
+)
+
+NODE_COUNTS = (50, 100, 200, 400)
+PAPER_400_MINUTES = 12.0
+
+
+def _clone_time(cloner_cls, n_nodes, *, needs_rng, seed=42):
+    kernel, fabric, master, nodes, streams = build_fabric_cluster(
+        n_nodes, seed=seed)
+    image = ImageManager().get("compute-harddisk")
+    if needs_rng:
+        cloner = cloner_cls(kernel, fabric, master, rng=streams("clone"))
+    else:
+        cloner = cloner_cls(kernel, fabric, master)
+    report = kernel.run(cloner.clone(nodes, image))
+    assert len(report.cloned) == n_nodes
+    return report
+
+
+def test_multicast_scaling(benchmark):
+    def run():
+        return {n: _clone_time(MulticastCloner, n, needs_rng=True)
+                for n in NODE_COUNTS}
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[n, f"{r.total_seconds / 60:.1f}",
+             f"{r.stream_seconds:.0f}", f"{r.repair_seconds:.0f}",
+             f"{r.repair_bytes / 1e6:.0f}"]
+            for n, r in reports.items()]
+    print_table("E4a: multicast clone+reboot vs node count",
+                ["nodes", "total min", "stream s", "repair s",
+                 "repair MB"], rows)
+
+    t400 = reports[400].total_seconds / 60
+    print(f"\n400-node clone+reboot: {t400:.1f} min "
+          f"(paper: ~{PAPER_400_MINUTES:.0f} min)")
+    # Paper band: same order — minutes, not hours.
+    assert 4.0 <= t400 <= 25.0
+    # Near-flat scaling: 8x the nodes costs well under 2x the time.
+    assert (reports[400].total_seconds
+            < 2.0 * reports[50].total_seconds)
+
+
+def test_unicast_baselines(benchmark):
+    def run():
+        seq = {n: _clone_time(SequentialUnicastCloner, n, needs_rng=False)
+               for n in (25, 50)}
+        par = {n: _clone_time(ParallelUnicastCloner, n, needs_rng=False)
+               for n in (25, 50)}
+        return seq, par
+
+    seq, par = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n in (25, 50):
+        rows.append(["sequential", n, f"{seq[n].total_seconds / 60:.1f}"])
+        rows.append(["parallel", n, f"{par[n].total_seconds / 60:.1f}"])
+    print_table("E4b: unicast baselines (minutes)",
+                ["baseline", "nodes", "total min"], rows)
+
+    # Linear scaling: doubling nodes ~doubles time for both baselines.
+    assert seq[50].total_seconds / seq[25].total_seconds \
+        == pytest.approx(2.0, rel=0.2)
+    assert par[50].total_seconds / par[25].total_seconds \
+        == pytest.approx(2.0, rel=0.25)
+    # 400-node extrapolation: hours, vs minutes for multicast.
+    extrapolated_400 = seq[50].total_seconds * 8 / 3600
+    print(f"\nsequential unicast extrapolated to 400 nodes: "
+          f"{extrapolated_400:.1f} h (multicast: minutes)")
+    assert extrapolated_400 > 2.0
+
+
+def test_repair_ablation(benchmark):
+    """DESIGN.md ablation: p2p repair in the ACK phase vs a full second
+    multicast pass for stragglers."""
+
+    def run():
+        with_repair = _clone_time(MulticastCloner, 100, needs_rng=True)
+        # Full-retransmit strawman: stream again for any loss at all.
+        kernel, fabric, master, nodes, streams = build_fabric_cluster(
+            100, seed=42)
+        image = ImageManager().get("compute-harddisk")
+        cloner = MulticastCloner(kernel, fabric, master,
+                                 rng=streams("clone"))
+        report = kernel.run(cloner.clone(nodes, image, reboot=False))
+        # Emulate the strawman cost: one extra full stream.
+        strawman_total = report.total_seconds + report.stream_seconds
+        return with_repair, strawman_total
+
+    with_repair, strawman_total = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+    print_table(
+        "E4c: repair strategy ablation (100 nodes)",
+        ["strategy", "seconds"],
+        [["p2p repair in ACK phase",
+          f"{with_repair.total_seconds:.0f}"],
+         ["full re-stream on any loss (no reboot)",
+          f"{strawman_total:.0f}"]])
+    assert with_repair.repair_seconds < with_repair.stream_seconds

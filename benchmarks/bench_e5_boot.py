@@ -1,0 +1,126 @@
+"""E5 — LinuxBIOS vs legacy BIOS boot times (§2).
+
+Paper: LinuxBIOS "initializes the hardware ... and starts loading the
+operating system — only it does it in about 3 seconds, whereas most
+commercial BIOS alternatives require about 30 to 60 seconds to boot";
+plus "it can boot over standard Ethernet or over other interconnects such
+as Myrinet, Quadrics, or SCI".
+
+Regenerated: per-node firmware time distributions, a 500-node boot storm
+(netboot off one management server), and netboot kernel-load time per
+interconnect.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import print_table
+from repro.firmware import (
+    KERNEL_IMAGE_SIZE,
+    BootSettings,
+    LegacyBIOS,
+    LinuxBIOS,
+    OS_BOOT_TIME,
+    install_firmware,
+)
+from repro.hardware import NodeState, SimulatedNode
+from repro.network import NetworkFabric, PROFILES
+from repro.sim import SimKernel
+
+
+def _firmware_times(firmware_factory, n=50):
+    times = []
+    for i in range(n):
+        kernel = SimKernel()
+        node = SimulatedNode(kernel, f"b{i}", node_id=i * 101 + 7)
+        install_firmware(node, firmware_factory())
+        node.power_on()
+        kernel.run()
+        times.append(node.boot_completed_at - OS_BOOT_TIME)
+    return np.array(times)
+
+
+def test_single_node_firmware_times(benchmark):
+    def run():
+        return (_firmware_times(LinuxBIOS),
+                _firmware_times(LegacyBIOS))
+
+    lnx, legacy = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["LinuxBIOS", f"{lnx.mean():.1f}", f"{lnx.min():.1f}",
+         f"{lnx.max():.1f}", "~3 s"],
+        ["legacy BIOS", f"{legacy.mean():.1f}", f"{legacy.min():.1f}",
+         f"{legacy.max():.1f}", "30-60 s"],
+    ]
+    print_table("E5a: firmware time to OS load (seconds, 50 nodes)",
+                ["firmware", "mean", "min", "max", "paper"], rows)
+    assert 2.0 <= lnx.mean() <= 4.0
+    assert 25.0 <= legacy.mean() <= 60.0
+    assert legacy.min() >= 20.0 and legacy.max() <= 65.0
+    assert legacy.mean() / lnx.mean() > 10
+
+
+def test_boot_storm_500_nodes(benchmark):
+    """Everything powered at once; LinuxBIOS netboots off one server."""
+
+    def run(firmware_kind):
+        kernel = SimKernel()
+        fabric = NetworkFabric(kernel)
+        server = SimulatedNode(kernel, "boot-server", node_id=60000)
+        server.power_on()
+        fabric.attach(server)
+        from repro.firmware import BootEnvironment
+        env = BootEnvironment(fabric=fabric, boot_server=server)
+        nodes = []
+        for i in range(500):
+            node = SimulatedNode(kernel, f"s{i:04d}", node_id=i + 1)
+            if firmware_kind == "linuxbios-net":
+                install_firmware(node, LinuxBIOS(
+                    settings=BootSettings(boot_source="net"), env=env))
+            elif firmware_kind == "linuxbios-disk":
+                install_firmware(node, LinuxBIOS())
+            else:
+                install_firmware(node, LegacyBIOS())
+            fabric.attach(node)
+            node.power_on()
+            nodes.append(node)
+        kernel.run()
+        assert all(n.state is NodeState.UP for n in nodes)
+        return max(n.boot_completed_at for n in nodes)
+
+    def sweep():
+        return {kind: run(kind) for kind in
+                ("linuxbios-disk", "linuxbios-net", "legacy")}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E5b: 500-node boot storm, time until last node up (s)",
+        ["firmware / boot path", "seconds"],
+        [[k, f"{v:.1f}"] for k, v in results.items()])
+    assert results["linuxbios-disk"] < results["legacy"] / 2
+    # Netboot at 500 nodes is bandwidth-bound on the boot server's fast
+    # Ethernet (500 x 2 MiB ~ 84 s of wire time): it loses the *storm*
+    # to local-disk boots even though each individual boot is faster.
+    # That is a real capacity-planning consequence the model exposes,
+    # not a contradiction of the paper's per-node claim.
+    wire_bound = 500 * KERNEL_IMAGE_SIZE / 12.5e6
+    assert results["linuxbios-net"] == pytest.approx(
+        wire_bound + results["linuxbios-disk"], rel=0.35)
+
+
+def test_netboot_interconnects(benchmark):
+    """Kernel-image load time across the §2 interconnect list."""
+
+    def run():
+        return {name: profile.transfer_time(KERNEL_IMAGE_SIZE)
+                for name, profile in PROFILES.items()}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{t * 1000:.2f}"]
+            for name, t in sorted(times.items(), key=lambda kv: -kv[1])]
+    print_table("E5c: netboot kernel load (2 MiB) per interconnect",
+                ["interconnect", "ms"], rows)
+    assert times["fast-ethernet"] > times["gigabit-ethernet"] \
+        > times["myrinet-2000"] >= times["quadrics-elan3"]
+    # All interconnect loads are small next to the firmware's ~3 s.
+    assert max(times.values()) < 1.0

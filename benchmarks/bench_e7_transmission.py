@@ -1,0 +1,106 @@
+"""E7 — transmission encoding (§5.3.3).
+
+Paper: "Although binary formats require less storage, we leave the data
+in text form because of platform independency and the human-readable
+nature of the data.  Nevertheless, when transmitting the data, we use
+data compression techniques, which are known to be very effective on text
+input."
+
+Regenerated: frame sizes for raw text / compressed text / binary /
+compressed binary on realistic monitor payloads (full first frame and
+typical deltas), plus encode-throughput wall-clock numbers.
+"""
+
+import zlib
+
+import pytest
+
+from _harness import print_table, steady_node
+from repro.monitoring import (
+    BinaryCodec,
+    MonitorContext,
+    TextCodec,
+    builtin_registry,
+)
+from repro.sim import SimKernel
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    kernel = SimKernel()
+    node = steady_node(kernel)
+    registry = builtin_registry()
+    full = registry.evaluate_all(MonitorContext(node=node, t=100.0))
+    delta = {k: full[k] for k in
+             ("cpu_util_pct", "mem_used_bytes", "net_rx_bytes",
+              "net_tx_bytes", "load_1min", "cpu_temp_c")}
+    return full, delta
+
+
+#: shared field schema, as a compiled-MIB-style binary protocol would have.
+_SCHEMA = tuple(builtin_registry().names)
+
+
+def _sizes(values):
+    text_raw = TextCodec(compress=False).encode("n0001", 100.0, values)
+    text_z = TextCodec(compress=True).encode("n0001", 100.0, values)
+    binary = BinaryCodec(schema=_SCHEMA).encode("n0001", 100.0, values)
+    binary_z = zlib.compress(binary, 6)
+    return len(text_raw), len(text_z), len(binary), len(binary_z)
+
+
+def test_frame_sizes(benchmark, payloads):
+    full, delta = payloads
+
+    def run():
+        return _sizes(full), _sizes(delta)
+
+    (f_raw, f_z, f_bin, f_binz), (d_raw, d_z, d_bin, d_binz) = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E7a: monitoring frame sizes (bytes)",
+        ["frame", "text raw", "text+zlib", "binary", "binary+zlib"],
+        [["full (all monitors)", f_raw, f_z, f_bin, f_binz],
+         ["typical delta (6 metrics)", d_raw, d_z, d_bin, d_binz]])
+    print(f"\ntext compression ratio (full frame): {f_raw / f_z:.2f}x "
+          "(paper: compression 'very effective on text input')")
+
+    # The paper's two claims:
+    assert f_bin < f_raw          # "binary formats require less storage"
+    assert f_raw / f_z > 1.5      # compression very effective on text
+    # Compressed text lands within ~2x of schema-packed binary — close
+    # enough that the paper trades the residual bytes for platform
+    # independence and human readability.
+    assert f_z < 2.5 * f_bin
+
+
+def test_encode_throughput_text(benchmark, payloads):
+    full, _ = payloads
+    codec = TextCodec()
+    benchmark(lambda: codec.encode("n0001", 100.0, full))
+
+
+def test_encode_throughput_binary(benchmark, payloads):
+    full, _ = payloads
+    codec = BinaryCodec()
+    benchmark(lambda: codec.encode("n0001", 100.0, full))
+
+
+def test_roundtrip_fidelity(benchmark, payloads):
+    """Compression must be lossless end to end."""
+    full, _ = payloads
+
+    def run():
+        codec = TextCodec()
+        host, t, decoded = codec.decode(codec.encode("n0001", 100.0,
+                                                     full))
+        return host, t, decoded
+
+    host, t, decoded = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert host == "n0001" and t == 100.0
+    assert set(decoded) == set(full)
+    for key, value in full.items():
+        if isinstance(value, float):
+            assert decoded[key] == pytest.approx(value)
+        else:
+            assert str(decoded[key]) == str(value)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Capacity planning from monitoring history (§5.1).
+
+"Analyzing this data can help the administrator spot system bottlenecks,
+improve cluster efficiency, and predict future computing needs."
+
+Scenario: one node leaks memory, one fills its disk with checkpoints; the
+admin uses the history store's trend analysis to predict when each hits
+the wall, and renders the evidence with the terminal graphing tools.
+
+    python examples/capacity_planning.py
+"""
+
+from repro import ClusterWorX
+from repro.core.graphing import chart, node_comparison, sparkline
+from repro.hardware import WorkloadGenerator, WorkloadSegment
+from repro.util import fmt_duration
+
+
+def main() -> None:
+    cwx = ClusterWorX(n_nodes=8, seed=29, monitor_interval=15.0)
+    cwx.start()
+
+    # Normal jobs everywhere, plus two pathologies.
+    gen = WorkloadGenerator(cwx.streams("planning"))
+    for node in cwx.cluster.nodes:
+        node.workload.extend(gen.hpc_job(cwx.kernel.now + 10.0,
+                                         phases=6))
+    leaker = cwx.cluster.hostnames[2]
+    cwx.inject_fault(leaker, "memory_leak", rate=300 << 10)  # ~0.3 MB/s
+    io_host = cwx.cluster.hostnames[5]
+    cwx.cluster.node(io_host).workload.extend(
+        gen.io_heavy_job(cwx.kernel.now + 10.0, duration=3600.0,
+                         write_rate=30e6))
+
+    cwx.run(1800)  # half an hour of history
+    history = cwx.server.history
+    now = cwx.kernel.now
+
+    # -- memory-leak forecast ---------------------------------------------
+    slope, _ = history.trend(leaker, "mem_used_bytes", window=1200.0)
+    print(f"{leaker}: memory growing at {slope / 1024:.1f} KB/s")
+    total = cwx.cluster.node(leaker).memory.spec.total
+    eta = history.time_to_threshold(leaker, "mem_used_bytes",
+                                    total * 0.95, window=1200.0)
+    if eta is None:
+        print("  -> no crossing predicted")
+    elif eta <= now:
+        print(f"  -> already past 95% of RAM (crossed ~t={eta:.0f}s)")
+    else:
+        print(f"  -> predicted to hit 95% of RAM in "
+              f"{fmt_duration(eta - now)} (at t={eta:.0f}s)")
+
+    # verify the prediction against ground truth
+    cwx.run(max(0.0, (eta or now) - now))
+    actual = cwx.cluster.node(leaker).memory.utilization(cwx.kernel.now)
+    print(f"  at predicted time, actual utilization: "
+          f"{actual * 100:.0f}% (threshold was 95%)")
+
+    # -- I/O bottleneck spotting ---------------------------------------------
+    print(f"\ndisk write totals across the cluster "
+          f"(bottleneck: {io_host}):")
+    print(node_comparison(history, cwx.cluster.hostnames,
+                          "disk_write_bytes"))
+
+    # -- the charts an admin would eyeball ------------------------------------
+    print()
+    print(chart(history, leaker, "mem_util_pct", buckets=50, height=6,
+                title=f"{leaker} memory utilization %"))
+    _, mean, _, _ = history.graph(leaker, "cpu_temp_c", buckets=40)
+    print(f"\n{leaker} temperature trend: {sparkline(mean)}")
+
+
+if __name__ == "__main__":
+    main()

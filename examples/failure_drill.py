@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A failure drill: every fault class, observed and handled (§3, §5.2).
+
+Injects the full fault catalogue across a rack and shows how each one is
+caught: thresholds for the creeping faults, the UDP-echo sweep for dead
+OSes, ICE Box probes and console capture for the post-mortems, and the
+smart notifier keeping the admin's inbox sane.
+
+    python examples/failure_drill.py
+"""
+
+from repro import ClusterWorX
+from repro.hardware import FaultKind, WorkloadSegment
+
+
+def main() -> None:
+    cwx = ClusterWorX(n_nodes=10, seed=23, monitor_interval=5.0)
+    cwx.start()
+    for node in cwx.cluster.nodes:
+        node.workload.add(WorkloadSegment(
+            start=cwx.kernel.now, duration=1e5, cpu=0.85,
+            memory=600 << 20))
+
+    # The rule book an admin would actually configure.
+    cwx.add_threshold("overheat", metric="cpu_temp_c", op=">",
+                      threshold=60.0, action="power_down",
+                      severity="critical")
+    cwx.add_threshold("fan-dead", metric="fan1_rpm", op="<",
+                      threshold=1000.0, action="none",
+                      severity="warning")
+    cwx.add_threshold("mem-pressure", metric="mem_util_pct", op=">",
+                      threshold=92.0, action="none")
+    cwx.add_threshold("psu-fault", metric="psu_ok", op="==",
+                      threshold=0, action="none", severity="critical")
+    cwx.add_threshold("node-unreachable", metric="udp_echo", op="==",
+                      threshold=0, action="none", severity="critical")
+    cwx.add_threshold("nic-degraded", metric="net_link_mbps", op="<",
+                      threshold=50.0, action="none")
+
+    cwx.run(30)
+    hosts = cwx.cluster.hostnames
+    plan = [
+        (hosts[1], FaultKind.FAN_FAILURE, {}),
+        (hosts[2], FaultKind.MEMORY_LEAK, {"rate": 8 << 20}),
+        (hosts[3], FaultKind.KERNEL_PANIC,
+         {"reason": "Unable to handle kernel paging request"}),
+        (hosts[4], FaultKind.OS_HANG, {}),
+        (hosts[5], FaultKind.NIC_DEGRADED, {"factor": 0.2}),
+        (hosts[6], FaultKind.PSU_FAILURE, {}),
+    ]
+    print("injecting faults:")
+    for host, kind, detail in plan:
+        cwx.inject_fault(host, kind, **detail)
+        print(f"  {host}: {kind}")
+
+    cwx.run(1800)
+
+    print("\nevents fired:")
+    for event in cwx.fired_events():
+        print(f"  t={event.time:7.1f}s {event.rule:18s} {event.node} "
+              f"action={event.action}")
+
+    print(f"\nemails sent: {len(cwx.emails())} "
+          "(one per event type, not per node per scan)")
+    for mail in cwx.emails():
+        print(f"  [{mail.severity:8s}] {mail.event}: "
+              f"{', '.join(mail.nodes)}")
+
+    # Post-mortem on the panicked node through its ICE Box console.
+    panicked = hosts[3]
+    print(f"\npost-mortem console of {panicked}:")
+    for line in cwx.client().console_tail(panicked, 4):
+        print(f"  | {line}")
+
+    # The hung node: hardware alive, software deaf -> reset via ICE Box.
+    hung = hosts[4]
+    state = cwx.cluster.node(hung).state.value
+    print(f"\n{hung} is '{state}'; asserting hardware reset...")
+    cwx.client().power(hung, "reset")
+    cwx.run(60)
+    print(f"{hung} is now '{cwx.cluster.node(hung).state.value}'")
+
+    print("\nfinal cluster picture:")
+    view = cwx.client().cluster_view()
+    for host in hosts:
+        print(f"  {host}: {view[host].get('node_state', '?'):8s} "
+              f"echo={view[host].get('udp_echo', '?')}")
+
+
+if __name__ == "__main__":
+    main()

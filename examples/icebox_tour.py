@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A tour of ICE Box remote management (§3): every access protocol.
+
+Drives one ICE Box over SIMP (serial), NIMP (the ClusterWorX protocol),
+telnet (management shell and per-device console ports), ssh with key
+auth, and SNMP — with IP filtering in front of the network services.
+
+    python examples/icebox_tour.py
+"""
+
+from repro.hardware import SimulatedNode
+from repro.icebox import IceBox, IPFilter
+from repro.icebox.protocols import (
+    CONSOLE_PORT_BASE,
+    ENTERPRISE_OID,
+    NIMPServer,
+    ProtocolError,
+    SIMPServer,
+    SNMPAgent,
+    SSHServer,
+    TelnetServer,
+)
+from repro.sim import SimKernel
+
+
+def main() -> None:
+    kernel = SimKernel()
+    box = IceBox(kernel, "rack7-ice")
+    nodes = [SimulatedNode(kernel, f"rack7-n{i}", node_id=i + 1)
+             for i in range(10)]
+    for i, node in enumerate(nodes):
+        box.connect_node(i, node)
+
+    # Management network policy: only the admin LAN may talk to the box.
+    policy = IPFilter(default_allow=False)
+    policy.allow("10.10.0.0/16")
+
+    # -- SIMP: the serial path (works even when the network is down) ------
+    simp = SIMPServer(box)
+    print("SIMP>", simp.handle_frame("SIMP 1 VERSION").strip())
+    print("SIMP>", simp.handle_frame("SIMP 2 POWER SEQ 0.5").strip())
+    kernel.run()
+    print("SIMP>", simp.handle_frame("SIMP 3 STATUS").strip()[:72], "...")
+
+    # -- NIMP: what the ClusterWorX server itself uses ----------------------
+    nimp = NIMPServer(box, policy)
+    print("\nNIMP>", nimp.handle_request(
+        "10.10.3.2", "NIMP/1.0 TEMP 4").strip())
+    print("NIMP>", nimp.handle_request(
+        "10.10.3.2", "NIMP/1.0 PSU 4").strip())
+    try:
+        nimp.handle_request("192.168.1.50", "NIMP/1.0 STATUS")
+    except ProtocolError as exc:
+        print(f"NIMP from outside the admin LAN: {exc}")
+
+    # -- telnet: a human at the management shell ----------------------------
+    telnet = TelnetServer(box, policy)
+    shell = telnet.connect("10.10.3.9")
+    shell.login("admin", "icebox")
+    print("\ntelnet>", shell.command("FAN 2"))
+
+    # -- telnet to a console port: watch a node's serial line live ----------
+    console = telnet.connect("10.10.3.9", CONSOLE_PORT_BASE + 6)
+    console.login("admin", "icebox")
+    nodes[6].crash("Oops: 0002 [#1]")
+    print("console port 2007 captured:")
+    for chunk in console.output:
+        for line in chunk.strip().splitlines():
+            print(f"  | {line}")
+
+    # -- ssh with public-key auth ------------------------------------------
+    ssh = SSHServer(box, policy)
+    ssh.add_key("ops", "ssh-rsa AAAAB3NzaC1yc2E...ops@mgmt")
+    session = ssh.connect("10.10.4.4", protocol_version=2)
+    session.login_key("ops", "ssh-rsa AAAAB3NzaC1yc2E...ops@mgmt")
+    print("\nssh>", session.command("CONSOLE 6 2").splitlines()[0],
+          "(post-mortem via ssh)")
+
+    # -- SNMP: the monitoring-software path -----------------------------------
+    agent = SNMPAgent(box, policy)
+    print("\nSNMP walk (first rows):")
+    for oid, value in agent.walk("10.10.5.1", "public")[:6]:
+        print(f"  {oid} = {value}")
+    # power-cycle node 6 via SNMP set (admin state: 2=off, 1=on)
+    agent.set("10.10.5.1", "private", f"{ENTERPRISE_OID}.2.6.1", 2)
+    agent.set("10.10.5.1", "private", f"{ENTERPRISE_OID}.2.6.1", 1)
+    kernel.run()
+    print(f"node 6 after SNMP power cycle: {nodes[6].state.value}")
+
+
+if __name__ == "__main__":
+    main()

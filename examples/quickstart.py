@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a managed cluster, watch it, and react to trouble.
+
+Runs a 20-node simulated cluster under ClusterWorX: boots it through the
+ICE Boxes, starts the monitoring agents, sets one threshold rule, injects
+a fault, and shows the event pipeline doing its job.
+
+    python examples/quickstart.py
+"""
+
+from repro import ClusterWorX
+from repro.hardware import WorkloadSegment
+
+
+def main() -> None:
+    # -- build and boot ---------------------------------------------------
+    cwx = ClusterWorX(n_nodes=20, seed=7, monitor_interval=5.0)
+    cwx.start()
+    print(f"cluster up: {len(cwx.cluster.nodes)} nodes, "
+          f"{len(cwx.cluster.iceboxes)} ICE Boxes, "
+          f"{len(cwx.registry)} monitors per node")
+
+    # -- put some work on the nodes ---------------------------------------
+    for node in cwx.cluster.nodes:
+        node.workload.add(WorkloadSegment(
+            start=cwx.kernel.now, duration=3600.0, cpu=0.8,
+            memory=700 << 20))
+
+    # -- a threshold rule: power down anything that overheats -------------
+    cwx.add_threshold("overheat", metric="cpu_temp_c", op=">",
+                      threshold=60.0, action="power_down",
+                      severity="critical")
+
+    # -- let monitoring settle, then look at a node -----------------------
+    cwx.run(60)
+    session = cwx.client()           # admin/admin by default
+    host = cwx.cluster.hostnames[0]
+    view = session.node_view(host)
+    print(f"\n{host} after 60 s:")
+    for key in ("cpu_util_pct", "mem_used_bytes", "cpu_temp_c",
+                "load_1min", "udp_echo"):
+        print(f"  {key:16s} = {view[key]}")
+
+    # -- trouble: a CPU fan dies under load --------------------------------
+    victim = cwx.cluster.hostnames[3]
+    print(f"\ninjecting fan failure on {victim} at t={cwx.kernel.now:.0f}")
+    cwx.inject_fault(victim, "fan_failure")
+    cwx.run(1500)
+
+    # -- what happened ------------------------------------------------------
+    for event in cwx.fired_events():
+        print(f"event fired: t={event.time:.0f}s rule={event.rule} "
+              f"node={event.node} action={event.action} "
+              f"ok={event.action_ok}")
+    for mail in cwx.emails():
+        print(f"email: [{mail.severity}] {mail.body}")
+    print(f"{victim} final state: {cwx.cluster.node(victim).state.value} "
+          "(powered down before the CPU burned)")
+
+    # -- historical graphing -------------------------------------------------
+    centers, mean, lo, hi = session.graph(victim, "cpu_temp_c",
+                                          buckets=12)
+    print(f"\n{victim} temperature history (12 buckets):")
+    print("  " + " ".join(f"{m:5.1f}" for m in mean))
+
+
+if __name__ == "__main__":
+    main()

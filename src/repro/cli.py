@@ -1,0 +1,238 @@
+"""Command-line interface: self-contained demo scenarios.
+
+Because the cluster is simulated, each subcommand builds its scenario,
+runs it to completion, and prints the operator-facing view:
+
+    python -m repro.cli demo    --nodes 20 --seconds 300
+    python -m repro.cli clone   --nodes 100 --image compute-harddisk
+    python -m repro.cli drill   --nodes 10
+    python -m repro.cli ladder
+    python -m repro.cli slurm   --nodes 16 --jobs 12
+
+(also installed as the ``clusterworx`` console script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args) -> int:
+    from repro import ClusterWorX
+    from repro.hardware import WorkloadGenerator
+
+    cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                      monitor_interval=5.0)
+    cwx.start()
+    gen = WorkloadGenerator(cwx.streams("cli-demo"))
+    for node in cwx.cluster.nodes:
+        node.workload.extend(gen.hpc_job(cwx.kernel.now + 5.0))
+    cwx.run(args.seconds)
+    view = cwx.client().cluster_view()
+    print(f"{'NODE':<18} {'STATE':<8} {'CPU%':>6} {'MEM%':>6} "
+          f"{'TEMP':>6} {'LOAD':>6}")
+    for host in cwx.cluster.hostnames:
+        v = view.get(host, {})
+        print(f"{host:<18} {v.get('node_state', '?'):<8} "
+              f"{v.get('cpu_util_pct', 0):>6.1f} "
+              f"{v.get('mem_util_pct', 0):>6.1f} "
+              f"{v.get('cpu_temp_c', 0):>6.1f} "
+              f"{v.get('load_1min', 0):>6.2f}")
+    print(f"\n{len(cwx.cluster.nodes)} nodes | "
+          f"{cwx.server.updates_received} updates received | "
+          f"monitoring traffic "
+          f"{cwx.cluster.fabric.total_bytes('monitoring'):.0f} B")
+    return 0
+
+
+def _cmd_clone(args) -> int:
+    from repro import ClusterWorX
+    from repro.util import fmt_duration
+
+    cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                      monitor_interval=60.0)
+    cwx.start()
+    wall0 = time.perf_counter()
+    report = cwx.clone(args.image)
+    wall = time.perf_counter() - wall0
+    print(f"image   : {report.image.name} gen {report.image.generation} "
+          f"({report.image.size / 2**30:.2f} GiB)")
+    print(f"cloned  : {len(report.cloned)}/{report.targets} nodes")
+    print(f"skipped : {len(report.skipped)}")
+    print(f"time    : {fmt_duration(report.total_seconds)} simulated "
+          f"(stream {report.stream_seconds:.0f} s, repair "
+          f"{report.repair_seconds:.0f} s) in {wall:.2f} s wall")
+    print(f"repairs : {report.repair_bytes / 1e6:.1f} MB over "
+          f"{len(report.repaired_blocks)} nodes")
+    audit = cwx.server.images.audit(cwx.cluster.nodes)
+    print(f"audit   : consistent={audit.is_consistent}")
+    return 0 if audit.is_consistent else 1
+
+
+def _cmd_drill(args) -> int:
+    from repro import ClusterWorX
+    from repro.hardware import WorkloadSegment
+
+    cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                      monitor_interval=5.0)
+    cwx.start()
+    cwx.add_threshold("overheat", metric="cpu_temp_c", op=">",
+                      threshold=60.0, action="power_down",
+                      severity="critical")
+    for node in cwx.cluster.nodes:
+        node.workload.add(WorkloadSegment(start=cwx.kernel.now,
+                                          duration=1e5, cpu=0.9))
+    cwx.run(30)
+    victim = cwx.cluster.hostnames[1]
+    cwx.inject_fault(victim, "fan_failure")
+    cwx.run(2000)
+    for event in cwx.fired_events():
+        print(f"t={event.time:7.1f}s  {event.rule:12s} {event.node} "
+              f"-> {event.action} (ok={event.action_ok})")
+    for mail in cwx.emails():
+        print(f"email: {mail.body}")
+    state = cwx.cluster.node(victim).state.value
+    print(f"{victim}: {state}")
+    return 0 if state == "off" else 1
+
+
+def _cmd_ladder(args) -> int:
+    from repro.monitoring.gathering import make_gatherer
+    from repro.procfs import ProcFilesystem
+    from repro.hardware import SimulatedNode, WorkloadSegment
+    from repro.sim import SimKernel
+
+    kernel = SimKernel()
+    node = SimulatedNode(kernel, "bench", node_id=1)
+    node.power_on()
+    node.workload.add(WorkloadSegment(start=0, duration=1e9, cpu=0.7,
+                                      memory=512 << 20))
+    kernel.run(until=100)
+    fs = ProcFilesystem(node)
+    print(f"{'strategy':<12} {'samples/s':>10} {'us/call':>9}")
+    for strategy in ("naive", "buffered", "apriori", "persistent"):
+        gatherer = make_gatherer(strategy, fs)
+        try:
+            for _ in range(3):
+                gatherer.sample()
+            count, start = 0, time.perf_counter()
+            while time.perf_counter() - start < 0.3:
+                gatherer.sample()
+                count += 1
+            rate = count / (time.perf_counter() - start)
+        finally:
+            gatherer.close()
+        print(f"{strategy:<12} {rate:>10.0f} {1e6 / rate:>9.1f}")
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    from repro import ClusterWorX
+    from repro.core.graphing import chart, node_comparison, sparkline
+    from repro.hardware import WorkloadGenerator
+
+    cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                      monitor_interval=5.0)
+    cwx.start()
+    gen = WorkloadGenerator(cwx.streams("cli-graph"))
+    for node in cwx.cluster.nodes:
+        node.workload.extend(gen.hpc_job(cwx.kernel.now + 2.0))
+    cwx.run(args.seconds)
+    host = cwx.cluster.hostnames[0]
+    print(chart(cwx.server.history, host, args.metric, buckets=50,
+                height=6))
+    print()
+    _, mean, _, _ = cwx.server.history.graph(host, args.metric,
+                                             buckets=50)
+    print(f"sparkline: {sparkline(mean)}")
+    print()
+    print(node_comparison(cwx.server.history,
+                          cwx.cluster.hostnames[:8], args.metric))
+    return 0
+
+
+def _cmd_slurm(args) -> int:
+    from repro import ClusterWorX
+    from repro.slurm import (BackfillScheduler, Job, SlurmController,
+                             sinfo, squeue)
+
+    cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                      monitor_interval=30.0)
+    cwx.start()
+    ctl = SlurmController(cwx.kernel, scheduler=BackfillScheduler())
+    for node in cwx.cluster.nodes:
+        ctl.register_node(node)
+    rng = cwx.streams("cli-jobs")
+    for i in range(args.jobs):
+        ctl.submit(Job(name=f"job{i}", user="cli",
+                       n_nodes=int(rng.integers(1, args.nodes // 2 + 1)),
+                       duration=float(rng.uniform(50, 300)),
+                       time_limit=600.0))
+    cwx.run(120)
+    print(squeue(ctl))
+    print()
+    print(sinfo(ctl))
+    # Run until the queue drains (bounded: agents tick forever).
+    while (ctl.queue or ctl.running) and cwx.kernel.now < 7200:
+        cwx.run(60)
+    stats = ctl.stats()
+    print(f"\ncompleted {stats['jobs_completed']:.0f} jobs, "
+          f"mean wait {stats['mean_wait']:.0f} s")
+    # sacct-style accounting with monitoring-derived efficiency.
+    from repro.slurm import efficiency_report
+    report = efficiency_report(ctl, cwx.server.history)
+    print(f"weighted CPU efficiency: "
+          f"{report['weighted_cpu_efficiency'] * 100:.0f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clusterworx",
+        description="ClusterWorX reproduction: simulated-cluster demos")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="boot + monitor a cluster")
+    p.add_argument("--nodes", type=int, default=20)
+    p.add_argument("--seconds", type=float, default=300.0)
+    p.set_defaults(fn=_cmd_demo)
+
+    p = sub.add_parser("clone", help="multicast-clone an image")
+    p.add_argument("--nodes", type=int, default=100)
+    p.add_argument("--image", default="compute-harddisk")
+    p.set_defaults(fn=_cmd_clone)
+
+    p = sub.add_parser("drill", help="fan-failure event drill")
+    p.add_argument("--nodes", type=int, default=10)
+    p.set_defaults(fn=_cmd_drill)
+
+    p = sub.add_parser("ladder", help="gathering optimization ladder")
+    p.set_defaults(fn=_cmd_ladder)
+
+    p = sub.add_parser("graph", help="render a metric's history")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--seconds", type=float, default=600.0)
+    p.add_argument("--metric", default="cpu_util_pct")
+    p.set_defaults(fn=_cmd_graph)
+
+    p = sub.add_parser("slurm", help="run a job mix under SLURM-lite")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--jobs", type=int, default=12)
+    p.set_defaults(fn=_cmd_slurm)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

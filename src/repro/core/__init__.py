@@ -1,0 +1,24 @@
+"""ClusterWorX core: cluster model, 3-tier server, clients, facade."""
+
+from repro.core.api import ClusterWorX
+from repro.core.auth import AuthError, AuthManager, Role
+from repro.core.graphing import chart, node_comparison, sparkline
+from repro.core.lite import ClusterWorXLite
+from repro.core.client import ClientSession, connect
+from repro.core.cluster import Cluster
+from repro.core.server import ClusterWorXServer
+
+__all__ = [
+    "AuthError",
+    "AuthManager",
+    "ClientSession",
+    "Cluster",
+    "ClusterWorX",
+    "ClusterWorXLite",
+    "ClusterWorXServer",
+    "Role",
+    "chart",
+    "connect",
+    "node_comparison",
+    "sparkline",
+]

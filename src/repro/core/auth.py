@@ -1,0 +1,97 @@
+"""Authentication/authorization for ClusterWorX clients.
+
+"Through a secure connection, ClusterWorX allows administrators to remotely
+monitor and manage a cluster system from an on-site or off-site location."
+The transport crypto is out of scope; what is modelled is the access
+control: users, roles, and per-command permission checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+__all__ = ["AuthError", "AuthManager", "Role"]
+
+
+class AuthError(Exception):
+    """Login failure or insufficient privilege."""
+
+
+class Role:
+    ADMIN = "admin"       # full control: power, cloning, rules
+    OPERATOR = "operator"  # actions but no rule/image changes
+    OBSERVER = "observer"  # read-only
+
+    #: privileges implied by each role.
+    GRANTS: Dict[str, Set[str]] = {
+        ADMIN: {"read", "action", "configure"},
+        OPERATOR: {"read", "action"},
+        OBSERVER: {"read"},
+    }
+
+
+def _digest(password: str, salt: str) -> str:
+    return hashlib.sha256((salt + ":" + password).encode()).hexdigest()
+
+
+@dataclass
+class _User:
+    username: str
+    digest: str
+    salt: str
+    role: str
+
+
+class AuthManager:
+    """User store + token issue/verify."""
+
+    def __init__(self, secret: str = "clusterworx"):
+        self._users: Dict[str, _User] = {}
+        self._secret = secret
+        self._counter = 0
+        self._tokens: Dict[str, str] = {}  # token -> username
+
+    def add_user(self, username: str, password: str,
+                 role: str = Role.OBSERVER) -> None:
+        if role not in Role.GRANTS:
+            raise ValueError(f"unknown role {role!r}")
+        salt = hashlib.sha1(f"{self._secret}:{username}".encode()) \
+            .hexdigest()[:8]
+        self._users[username] = _User(username, _digest(password, salt),
+                                      salt, role)
+
+    def login(self, username: str, password: str) -> str:
+        """Verify credentials; return a session token."""
+        user = self._users.get(username)
+        if user is None:
+            raise AuthError("unknown user")
+        if not hmac.compare_digest(user.digest,
+                                   _digest(password, user.salt)):
+            raise AuthError("bad password")
+        self._counter += 1
+        token = hashlib.sha256(
+            f"{self._secret}:{username}:{self._counter}".encode()
+        ).hexdigest()[:24]
+        self._tokens[token] = username
+        return token
+
+    def logout(self, token: str) -> None:
+        self._tokens.pop(token, None)
+
+    def username_for(self, token: str) -> str:
+        username = self._tokens.get(token)
+        if username is None:
+            raise AuthError("invalid or expired token")
+        return username
+
+    def check(self, token: str, privilege: str) -> str:
+        """Raise unless the token's user holds ``privilege``; returns user."""
+        username = self.username_for(token)
+        role = self._users[username].role
+        if privilege not in Role.GRANTS[role]:
+            raise AuthError(
+                f"user {username!r} (role {role}) lacks {privilege!r}")
+        return username

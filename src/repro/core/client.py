@@ -1,0 +1,98 @@
+"""Client sessions — tier 3 of the design (§5.1).
+
+The shipped product is a Java GUI; the reproduction exposes the same
+capabilities programmatically: authenticated sessions, near-real-time
+current views, historical graphs, node comparison, and (privilege
+permitting) power/clone/rule commands.  Multiple sessions operate against
+one server concurrently without conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.auth import AuthError
+from repro.core.server import ClusterWorXServer
+from repro.events.rules import ThresholdRule
+
+__all__ = ["ClientSession", "connect"]
+
+
+class ClientSession:
+    """One logged-in client."""
+
+    def __init__(self, server: ClusterWorXServer, token: str,
+                 username: str):
+        self.server = server
+        self._token = token
+        self.username = username
+        self.closed = False
+
+    def _priv(self, privilege: str) -> None:
+        if self.closed:
+            raise AuthError("session closed")
+        self.server.auth.check(self._token, privilege)
+
+    # -- monitoring views ---------------------------------------------------
+    def node_view(self, hostname: str) -> Dict[str, object]:
+        """The near-real-time panel for one node."""
+        self._priv("read")
+        return self.server.current(hostname)
+
+    def cluster_view(self) -> Dict[str, Dict[str, object]]:
+        """The main monitoring screen: all nodes' current values."""
+        self._priv("read")
+        return self.server.current_all()
+
+    def cluster_summary(self) -> Dict[str, object]:
+        """Cluster-level rollup (nodes up/down, mean load, active events)."""
+        self._priv("read")
+        return self.server.cluster_summary()
+
+    def graph(self, hostname: str, metric: str, buckets: int = 60):
+        """Historical graph data: (centers, mean, min, max) arrays."""
+        self._priv("read")
+        return self.server.history.graph(hostname, metric, buckets)
+
+    def compare_nodes(self, hostnames: List[str],
+                      metric: str) -> Dict[str, float]:
+        self._priv("read")
+        return self.server.history.compare_nodes(hostnames, metric)
+
+    def correlate(self, hostname: str, metric_a: str,
+                  metric_b: str) -> float:
+        self._priv("read")
+        return self.server.history.correlate(hostname, metric_a, metric_b)
+
+    def console_tail(self, hostname: str, lines: int = 20) -> List[str]:
+        self._priv("read")
+        return self.server.console_tail(hostname, lines)
+
+    # -- actions ------------------------------------------------------------
+    def power(self, hostname: str, operation: str) -> str:
+        self._priv("action")
+        return self.server.power(hostname, operation)
+
+    # -- configuration --------------------------------------------------------
+    def add_rule(self, rule: ThresholdRule) -> None:
+        self._priv("configure")
+        self.server.add_rule(rule)
+
+    def clone_image(self, image_name: str,
+                    hostnames: Optional[List[str]] = None):
+        self._priv("configure")
+        return self.server.clone_image(image_name, hostnames)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def logout(self) -> None:
+        self.server.auth.logout(self._token)
+        self.closed = True
+
+
+def connect(server: ClusterWorXServer, username: str,
+            password: str) -> ClientSession:
+    """Log a client into the server (raises AuthError on bad credentials)."""
+    token = server.auth.login(username, password)
+    return ClientSession(server, token, username)

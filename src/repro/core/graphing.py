@@ -1,0 +1,81 @@
+"""Terminal rendering of historical graphs — the GUI's chart stand-in.
+
+The product drew "historical graphing ... over a selected time interval"
+in a Java GUI; headless reproductions still need to *look at* the data, so
+this module renders HistoryStore series as unicode sparklines and block
+charts for the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.monitoring.history import HistoryStore
+
+__all__ = ["sparkline", "chart", "node_comparison"]
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline; NaNs render as spaces."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = (hi - lo) or 1.0
+    out = []
+    for x in arr:
+        if not np.isfinite(x):
+            out.append(" ")
+            continue
+        idx = int((x - lo) / span * (len(_SPARK_GLYPHS) - 1))
+        out.append(_SPARK_GLYPHS[idx])
+    return "".join(out)
+
+
+def chart(history: HistoryStore, hostname: str, metric: str, *,
+          buckets: int = 60, height: int = 8,
+          title: Optional[str] = None) -> str:
+    """A block chart of one metric's downsampled history."""
+    centers, mean, lo, hi = history.graph(hostname, metric,
+                                          buckets=buckets)
+    if len(centers) == 0 or not np.isfinite(mean).any():
+        return f"(no data for {hostname}/{metric})"
+    finite = mean[np.isfinite(mean)]
+    vmin, vmax = float(finite.min()), float(finite.max())
+    span = (vmax - vmin) or 1.0
+    rows = []
+    header = title or f"{hostname} :: {metric}"
+    rows.append(header)
+    for level in range(height, 0, -1):
+        cut = vmin + span * (level - 0.5) / height
+        line = "".join(
+            "█" if np.isfinite(m) and m >= cut else " " for m in mean)
+        label = f"{vmin + span * level / height:10.1f} |"
+        rows.append(label + line)
+    rows.append(" " * 10 + "+" + "-" * len(mean))
+    rows.append(" " * 11 + f"t={centers[0]:.0f}s .. t={centers[-1]:.0f}s")
+    return "\n".join(rows)
+
+
+def node_comparison(history: HistoryStore, hostnames: Sequence[str],
+                    metric: str, *, width: int = 30) -> str:
+    """Horizontal bars comparing one metric's mean across nodes."""
+    means = history.compare_nodes(list(hostnames), metric)
+    if not means:
+        return f"(no data for {metric})"
+    peak = max(means.values()) or 1.0
+    rows = [f"{metric} (mean)"]
+    for host in hostnames:
+        if host not in means:
+            continue
+        value = means[host]
+        bar = "█" * max(1, int(value / peak * width))
+        rows.append(f"{host:<20} {bar} {value:.1f}")
+    return "\n".join(rows)

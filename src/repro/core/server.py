@@ -1,0 +1,257 @@
+"""The ClusterWorX server — the middle of the 3-tier design (§5.1).
+
+Tier 1 is the node agents, tier 3 the (multiple, concurrent) clients; this
+server sits between: it receives consolidated monitoring deltas, maintains
+the *current view* and the *history store*, runs the event engine over
+every update, performs the UDP-echo connectivity sweep, and exposes
+query/command entry points that client sessions call.
+
+"The 3-tier design allows multiple clients to access the ClusterWorX
+server at the same time without conflict" — queries here are pure reads of
+the current-state dictionaries; commands serialize through the single
+simulation timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.auth import AuthManager, Role
+from repro.core.cluster import Cluster
+from repro.events.actions import ActionDispatcher
+from repro.events.engine import EventEngine
+from repro.events.notification import SmartNotifier
+from repro.events.rules import ThresholdRule
+from repro.hardware.node import NodeState
+from repro.imaging.manager import ImageManager
+from repro.imaging.multicast_clone import MulticastCloner
+from repro.monitoring.history import HistoryStore
+from repro.monitoring.monitors import MonitorRegistry, builtin_registry
+from repro.sim import SimKernel
+
+__all__ = ["ClusterWorXServer"]
+
+
+class ClusterWorXServer:
+    """Tier 2: state, history, events, commands."""
+
+    def __init__(self, kernel: SimKernel, cluster: Cluster, *,
+                 registry: Optional[MonitorRegistry] = None,
+                 notifier: Optional[SmartNotifier] = None,
+                 history_capacity: int = 4096,
+                 sweep_interval: float = 10.0):
+        self.kernel = kernel
+        self.cluster = cluster
+        self.registry = registry if registry is not None \
+            else builtin_registry()
+        self.history = HistoryStore(capacity=history_capacity)
+        self.notifier = notifier if notifier is not None \
+            else SmartNotifier(kernel, cluster.name)
+        self.dispatcher = ActionDispatcher(resolver=cluster.locate)
+        self.engine = EventEngine(kernel, dispatcher=self.dispatcher,
+                                  notifier=self.notifier)
+        self.auth = AuthManager()
+        self.auth.add_user("admin", "admin", Role.ADMIN)
+        self.images = ImageManager()
+        self.cloner = MulticastCloner(
+            kernel, cluster.fabric, cluster.management,
+            rng=cluster.streams("clone"))
+        self.sweep_interval = sweep_interval
+        #: hostname -> merged current values.
+        self._current: Dict[str, Dict[str, object]] = {}
+        self._last_update: Dict[str, float] = {}
+        self.updates_received = 0
+        self.queries_served = 0
+        self._sweeping = False
+        # §3.3: console output "is captured and logged through the ICE
+        # Box" — the server archives every port's serial stream beyond
+        # the box's own 16 KiB buffer.
+        self._console_archive: Dict[str, List[tuple[float, str]]] = {}
+        self.console_archive_limit = 2000
+        for box in cluster.iceboxes:
+            for port_index in range(len(box.ports)):
+                node = box.node_at(port_index)
+                if node is None:
+                    continue
+                box.console(port_index).subscribe(
+                    self._make_console_sink(node.hostname))
+
+    def _make_console_sink(self, hostname: str):
+        def _sink(text: str) -> None:
+            archive = self._console_archive.setdefault(hostname, [])
+            archive.append((self.kernel.now, text))
+            if len(archive) > self.console_archive_limit:
+                del archive[: len(archive) - self.console_archive_limit]
+        return _sink
+
+    # -- console archive -----------------------------------------------------
+    def console_archive(self, hostname: str, *,
+                        since: float = 0.0) -> List[tuple[float, str]]:
+        """The server-side permanent console log for one node."""
+        return [(t, text) for t, text in
+                self._console_archive.get(hostname, [])
+                if t >= since]
+
+    def console_search(self, pattern: str
+                       ) -> List[tuple[str, float, str]]:
+        """Find ``pattern`` across every node's archived console output."""
+        hits = []
+        for hostname, entries in sorted(self._console_archive.items()):
+            for t, text in entries:
+                if pattern in text:
+                    hits.append((hostname, t, text.strip()))
+        return hits
+
+    # -- tier-1 entry point -------------------------------------------------
+    def receive(self, hostname: str, t: float,
+                values: Dict[str, object]) -> None:
+        """Agents deliver consolidated deltas here."""
+        self.updates_received += 1
+        current = self._current.setdefault(hostname, {})
+        current.update(values)
+        self._last_update[hostname] = t
+        self.history.record(hostname, t, values)
+        try:
+            node = self.cluster.node(hostname)
+        except KeyError:
+            return
+        self.engine.feed(node, values)
+
+    # -- connectivity sweep (the UDP echo check, §5.1) -------------------------
+    def start_sweep(self) -> None:
+        if self._sweeping:
+            return
+        self._sweeping = True
+        self.kernel.process(self._sweep_loop(), name="cwx-sweep")
+
+    def stop_sweep(self) -> None:
+        self._sweeping = False
+
+    def _sweep_loop(self):
+        while self._sweeping:
+            now = self.kernel.now
+            for node in self.cluster.nodes:
+                reachable = 1 if (node.is_running()
+                                  and node.state is not NodeState.HUNG
+                                  and node.nic.health > 0.05) else 0
+                values = {"udp_echo": reachable,
+                          "node_state": node.state.value}
+                current = self._current.setdefault(node.hostname, {})
+                if (current.get("udp_echo") != reachable
+                        or current.get("node_state") != node.state.value):
+                    current.update(values)
+                    self.history.record(node.hostname, now,
+                                        {"udp_echo": reachable})
+                    self.engine.feed(node, values)
+            yield self.kernel.timeout(self.sweep_interval)
+
+    # -- tier-3 queries ------------------------------------------------------
+    def current(self, hostname: str) -> Dict[str, object]:
+        self.queries_served += 1
+        return dict(self._current.get(hostname, {}))
+
+    def current_all(self) -> Dict[str, Dict[str, object]]:
+        self.queries_served += 1
+        return {h: dict(v) for h, v in self._current.items()}
+
+    def last_seen(self, hostname: str) -> Optional[float]:
+        return self._last_update.get(hostname)
+
+    def stale_nodes(self, max_age: float) -> List[str]:
+        """Nodes whose agents have gone quiet for longer than ``max_age``."""
+        now = self.kernel.now
+        out = []
+        for hostname in self.cluster.hostnames:
+            t = self._last_update.get(hostname)
+            if t is None or now - t > max_age:
+                out.append(hostname)
+        return out
+
+    def cluster_summary(self) -> Dict[str, object]:
+        """Cluster-level rollup for the main monitoring screen (§5.1
+        "view cluster use and performance trends")."""
+        up = down = 0
+        cpu_sum = 0.0
+        cpu_n = 0
+        mem_used = 0
+        mem_total = 0
+        temps: List[float] = []
+        for node in self.cluster.nodes:
+            current = self._current.get(node.hostname, {})
+            if current.get("udp_echo", 0) == 1:
+                up += 1
+            else:
+                down += 1
+            if "cpu_util_pct" in current:
+                cpu_sum += float(current["cpu_util_pct"])
+                cpu_n += 1
+            mem_used += int(current.get("mem_used_bytes", 0))
+            mem_total += int(current.get("mem_total_bytes", 0))
+            if "cpu_temp_c" in current:
+                temps.append(float(current["cpu_temp_c"]))
+        triggered = sum(
+            1 for (rule, host), state in self.engine._state.items()
+            if state.triggered)
+        return {
+            "nodes_total": len(self.cluster.nodes),
+            "nodes_up": up,
+            "nodes_down": down,
+            "cpu_util_mean_pct": (cpu_sum / cpu_n) if cpu_n else 0.0,
+            "mem_used_bytes": mem_used,
+            "mem_total_bytes": mem_total,
+            "cpu_temp_max_c": max(temps) if temps else 0.0,
+            "events_active": triggered,
+        }
+
+    # -- tier-3 commands ----------------------------------------------------
+    def add_rule(self, rule: ThresholdRule) -> None:
+        self.engine.add_rule(rule)
+
+    def power(self, hostname: str, operation: str) -> str:
+        """Out-of-band power control through the node's ICE Box.
+
+        Issued over NIMP from the management host — the exact wire path
+        the product used (§3.4: "native command protocols which can be
+        used with ClusterWorX ... NIMP uses the onboard ethernet").
+        """
+        node = self.cluster.node(hostname)
+        located = self.cluster.locate(node)
+        if located is None:
+            return "ERR: node has no ICE Box"
+        box, port = located
+        commands = {"on": f"POWER ON {port}", "off": f"POWER OFF {port}",
+                    "cycle": f"POWER CYCLE {port}",
+                    "reset": f"RESET {port}"}
+        command = commands.get(operation.lower())
+        if command is None:
+            return f"ERR: unknown power operation {operation!r}"
+        nimp = self.cluster.nimp[box.name]
+        response = nimp.handle_request(self.cluster.management.ip,
+                                       f"{nimp.VERSION} {command}\n")
+        # Strip the NIMP framing back off for the caller.
+        return response.rstrip("\n").split(" ", 1)[1]
+
+    def console_tail(self, hostname: str, lines: int = 20) -> List[str]:
+        """Post-mortem view of a node's serial buffer via its ICE Box."""
+        node = self.cluster.node(hostname)
+        located = self.cluster.locate(node)
+        if located is None:
+            return []
+        box, port = located
+        return box.console(port).tail(lines)
+
+    def clone_image(self, image_name: str,
+                    hostnames: Optional[List[str]] = None, *,
+                    reboot: bool = True):
+        """Start a multicast clone; returns the clone process (yieldable).
+
+        The caller runs the kernel to completion (or past it) and reads the
+        process value — a :class:`~repro.imaging.multicast_clone.CloneReport`.
+        """
+        image = self.images.get(image_name)
+        if hostnames is None:
+            targets = list(self.cluster.nodes)
+        else:
+            targets = [self.cluster.node(h) for h in hostnames]
+        self.images.assign(targets, image_name)
+        return self.cloner.clone(targets, image, reboot=reboot)

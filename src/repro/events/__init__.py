@@ -1,0 +1,26 @@
+"""Event handling: rules, actions, smart notification (§5.2)."""
+
+from repro.events.actions import ActionDispatcher, ActionRecord
+from repro.events.engine import EventEngine, FiredEvent
+from repro.events.notification import (
+    EmailGateway,
+    EmailMessage,
+    NaiveNotifier,
+    PagerGateway,
+    SmartNotifier,
+)
+from repro.events.rules import Severity, ThresholdRule
+
+__all__ = [
+    "ActionDispatcher",
+    "ActionRecord",
+    "EmailGateway",
+    "EmailMessage",
+    "EventEngine",
+    "FiredEvent",
+    "NaiveNotifier",
+    "PagerGateway",
+    "Severity",
+    "SmartNotifier",
+    "ThresholdRule",
+]

@@ -1,0 +1,108 @@
+"""Event actions (§5.2): "Default actions include node power down and node
+reboot" — plus halt, and administrator plug-ins ("shell scripts, perl
+scripts, symbolic links, programs, and more").
+
+Power actions go through the ICE Box that feeds the node (resolved by a
+caller-supplied resolver), because a crashed or overheating node cannot be
+asked nicely — which is the whole point of the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.hardware.node import SimulatedNode
+from repro.icebox.box import IceBox
+
+__all__ = ["ActionDispatcher", "ActionRecord"]
+
+#: resolver: node -> (icebox, port) or None when unmanaged.
+Resolver = Callable[[SimulatedNode], Optional[Tuple[IceBox, int]]]
+
+
+@dataclass
+class ActionRecord:
+    time: float
+    node: str
+    action: str
+    ok: bool
+    detail: str = ""
+
+
+class ActionDispatcher:
+    """Executes named actions against nodes."""
+
+    def __init__(self, resolver: Optional[Resolver] = None):
+        self.resolver = resolver
+        self.records: List[ActionRecord] = []
+        self._custom: Dict[str, Callable[[SimulatedNode], object]] = {}
+
+    # -- plug-in actions -----------------------------------------------------
+    def register(self, name: str,
+                 fn: Callable[[SimulatedNode], object]) -> None:
+        if name in ("power_down", "reboot", "halt", "none"):
+            raise ValueError(f"cannot shadow builtin action {name!r}")
+        self._custom[name] = fn
+
+    @property
+    def action_names(self) -> List[str]:
+        return sorted(["power_down", "reboot", "halt", "none"]
+                      + list(self._custom))
+
+    # -- execution -------------------------------------------------------------
+    def execute(self, name: str, node: SimulatedNode, t: float
+                ) -> ActionRecord:
+        ok, detail = True, ""
+        try:
+            if name == "none":
+                pass
+            elif name == "power_down":
+                ok, detail = self._power_down(node)
+            elif name == "reboot":
+                ok, detail = self._reboot(node)
+            elif name == "halt":
+                node.halt()
+                detail = "halted"
+            elif name in self._custom:
+                result = self._custom[name](node)
+                detail = f"custom: {result!r}"
+            else:
+                ok, detail = False, f"unknown action {name!r}"
+        except Exception as exc:
+            ok, detail = False, f"action raised: {exc}"
+        record = ActionRecord(time=t, node=node.hostname, action=name,
+                              ok=ok, detail=detail)
+        self.records.append(record)
+        return record
+
+    def _locate(self, node: SimulatedNode
+                ) -> Optional[Tuple[IceBox, int]]:
+        if self.resolver is None:
+            return None
+        return self.resolver(node)
+
+    def _power_down(self, node: SimulatedNode) -> Tuple[bool, str]:
+        located = self._locate(node)
+        if located is None:
+            # Last resort: ask the OS (works only if it is alive).
+            if node.is_running():
+                node.halt()
+                node.power_off()
+                return True, "soft power-off (no ICE Box)"
+            return False, "no ICE Box path and node unresponsive"
+        box, port = located
+        box.power.power_off(port)
+        return True, f"outlet off via {box.name} port {port}"
+
+    def _reboot(self, node: SimulatedNode) -> Tuple[bool, str]:
+        located = self._locate(node)
+        if located is None:
+            if node.is_running():
+                node.reset()
+                return True, "soft reboot (no ICE Box)"
+            return False, "no ICE Box path and node unresponsive"
+        box, port = located
+        if not box.reset_line(port).assert_reset():
+            return False, "node has no power"
+        return True, f"hardware reset via {box.name} port {port}"

@@ -1,0 +1,166 @@
+"""The event engine (§5.2): evaluates rules against monitor updates,
+drives actions, and feeds the notifier.
+
+Per (rule, node) the engine keeps a tiny state machine::
+
+    OK --condition met--> PENDING (hold_time running)
+    PENDING --still met after hold_time--> TRIGGERED (action + notify)
+    PENDING --condition gone--> OK
+    TRIGGERED --cleared (with hysteresis)--> OK   (enables re-fire)
+
+"This allows corrective action to be taken before problems become
+critical (e.g. powering down a node on CPU fan failure to prevent the CPU
+from burning)" — see tests/test_events for exactly that scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.events.actions import ActionDispatcher
+from repro.events.notification import SmartNotifier
+from repro.events.rules import ThresholdRule
+from repro.hardware.node import SimulatedNode
+from repro.sim import SimKernel
+
+__all__ = ["EventEngine", "FiredEvent"]
+
+
+@dataclass
+class FiredEvent:
+    time: float
+    rule: str
+    node: str
+    value: object
+    action: str
+    action_ok: bool
+
+
+class _RuleState:
+    __slots__ = ("triggered", "pending_since")
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self.pending_since: Optional[float] = None
+
+
+class EventEngine:
+    """Rules + per-node state + dispatch."""
+
+    def __init__(self, kernel: SimKernel, *,
+                 dispatcher: Optional[ActionDispatcher] = None,
+                 notifier: Optional[SmartNotifier] = None):
+        self.kernel = kernel
+        self.dispatcher = dispatcher if dispatcher is not None \
+            else ActionDispatcher()
+        self.notifier = notifier
+        self._rules: Dict[str, ThresholdRule] = {}
+        self._state: Dict[Tuple[str, str], _RuleState] = {}
+        #: last value seen per (hostname, metric): change suppression
+        #: means a delta without a metric implies "same as before".
+        self._last: Dict[Tuple[str, str], object] = {}
+        self.fired: List[FiredEvent] = []
+
+    # -- rule management ----------------------------------------------------
+    def add_rule(self, rule: ThresholdRule) -> None:
+        if rule.name in self._rules:
+            raise ValueError(f"rule {rule.name!r} already exists")
+        self._rules[rule.name] = rule
+
+    def remove_rule(self, name: str) -> None:
+        self._rules.pop(name, None)
+        for key in [k for k in self._state if k[0] == name]:
+            del self._state[key]
+
+    @property
+    def rules(self) -> List[ThresholdRule]:
+        return [self._rules[n] for n in sorted(self._rules)]
+
+    def is_triggered(self, rule_name: str, hostname: str) -> bool:
+        state = self._state.get((rule_name, hostname))
+        return bool(state and state.triggered)
+
+    # -- evaluation ---------------------------------------------------------
+    def feed(self, node: SimulatedNode,
+             values: Dict[str, object]) -> List[FiredEvent]:
+        """Evaluate all rules against one node's (partial) update.
+
+        Metrics absent from ``values`` leave their rules untouched — the
+        consolidation stage only ships changes, so absence means "same as
+        before", not "unknown".
+        """
+        now = self.kernel.now
+        for name, value in values.items():
+            self._last[(node.hostname, name)] = value
+        fired: List[FiredEvent] = []
+        missing = object()
+        for rule in self._rules.values():
+            if not rule.applies_to(node.hostname):
+                continue
+            # Absent metrics mean "unchanged" under change suppression —
+            # evaluate against the last known value so hold-time rules
+            # still mature while a breached value sits constant.
+            value = values.get(
+                rule.metric,
+                self._last.get((node.hostname, rule.metric), missing))
+            if value is missing:
+                continue
+            key = (rule.name, node.hostname)
+            state = self._state.get(key)
+            if state is None:
+                state = self._state[key] = _RuleState()
+
+            if not state.triggered:
+                if rule.breached(value):
+                    if state.pending_since is None:
+                        state.pending_since = now
+                    if now - state.pending_since >= rule.hold_time:
+                        state.triggered = True
+                        state.pending_since = None
+                        fired.append(self._fire(rule, node, value))
+                else:
+                    state.pending_since = None
+            else:
+                if rule.cleared(value):
+                    state.triggered = False
+                    if self.notifier is not None:
+                        self.notifier.event_cleared(rule.name,
+                                                    node.hostname)
+        self.fired.extend(fired)
+        return fired
+
+    def _fire(self, rule: ThresholdRule, node: SimulatedNode,
+              value: object) -> FiredEvent:
+        record = self.dispatcher.execute(rule.action, node, self.kernel.now)
+        if self.notifier is not None and rule.notify:
+            self.notifier.event_triggered(rule.name, node.hostname,
+                                          rule.action, rule.severity)
+        return FiredEvent(time=self.kernel.now, rule=rule.name,
+                          node=node.hostname, value=value,
+                          action=rule.action, action_ok=record.ok)
+
+    # -- event log --------------------------------------------------------
+    def event_log(self, *, since: float = 0.0,
+                  rule: Optional[str] = None,
+                  node: Optional[str] = None,
+                  limit: Optional[int] = None) -> List[FiredEvent]:
+        """Query the fired-event history (newest last)."""
+        out = [e for e in self.fired
+               if e.time >= since
+               and (rule is None or e.rule == rule)
+               and (node is None or e.node == node)]
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    # -- manual administration -------------------------------------------------
+    def mark_fixed(self, rule_name: str, hostname: str) -> None:
+        """An administrator fixed the node out-of-band: clear the trigger
+        so the event can re-fire (§5.2's re-fire semantics)."""
+        state = self._state.get((rule_name, hostname))
+        if state is not None:
+            state.triggered = False
+            state.pending_since = None
+        if self.notifier is not None:
+            self.notifier.event_cleared(rule_name, hostname)

@@ -1,0 +1,85 @@
+"""Threshold rules (§5.2): "an event engine that allows administrators to
+set thresholds on any value monitored."
+
+A rule names a metric, a comparison, an action, and whether the
+administrator wants to be notified.  ``hold_time`` requires the condition
+to persist before the event fires (debounce for noisy metrics);
+``clear_band`` is hysteresis on the clearing side so a value hovering at
+the threshold does not flap.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional
+
+__all__ = ["ThresholdRule", "Severity"]
+
+_OPS: Dict[str, Callable[[object, object], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Severity:
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """One administrator-defined event definition."""
+
+    name: str
+    metric: str
+    op: str
+    threshold: object
+    action: str = "none"            # name in the ActionDispatcher
+    notify: bool = True
+    severity: str = Severity.WARNING
+    #: seconds the condition must persist before firing (0 = immediate).
+    hold_time: float = 0.0
+    #: fraction of the threshold the value must retreat past to clear
+    #: (numeric metrics only).
+    clear_band: float = 0.0
+    #: restrict the rule to these hostnames (None = whole cluster).
+    scope: Optional[FrozenSet[str]] = None
+
+    def applies_to(self, hostname: str) -> bool:
+        return self.scope is None or hostname in self.scope
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison {self.op!r}")
+        if self.hold_time < 0:
+            raise ValueError("hold_time must be >= 0")
+        if not 0 <= self.clear_band < 1:
+            raise ValueError("clear_band must be in [0, 1)")
+
+    def breached(self, value: object) -> bool:
+        """Is the trigger condition met by ``value``?"""
+        try:
+            return _OPS[self.op](value, self.threshold)
+        except TypeError:
+            return False
+
+    def cleared(self, value: object) -> bool:
+        """Has the value retreated far enough to clear the event?"""
+        if self.breached(value):
+            return False
+        if (self.clear_band == 0.0
+                or not isinstance(value, (int, float))
+                or not isinstance(self.threshold, (int, float))):
+            return True
+        margin = abs(self.threshold) * self.clear_band
+        if self.op in (">", ">="):
+            return value <= self.threshold - margin
+        if self.op in ("<", "<="):
+            return value >= self.threshold + margin
+        return True

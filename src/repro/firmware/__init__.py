@@ -1,0 +1,27 @@
+"""Firmware: LinuxBIOS and legacy BIOS boot models, remote flash (§2)."""
+
+from repro.firmware.bios import (
+    KERNEL_IMAGE_SIZE,
+    OS_BOOT_TIME,
+    BootEnvironment,
+    BootSettings,
+    Firmware,
+    LegacyBIOS,
+    LinuxBIOS,
+    install_firmware,
+)
+from repro.firmware.flash import FLASH_WRITE_TIME, WALKUP_TIME, FlashManager
+
+__all__ = [
+    "BootEnvironment",
+    "BootSettings",
+    "FLASH_WRITE_TIME",
+    "Firmware",
+    "FlashManager",
+    "KERNEL_IMAGE_SIZE",
+    "LegacyBIOS",
+    "LinuxBIOS",
+    "OS_BOOT_TIME",
+    "WALKUP_TIME",
+    "install_firmware",
+]

@@ -1,0 +1,42 @@
+"""Simulated node hardware: components, workloads, and fault injection.
+
+All component dynamics are *lazy and analytic* — state at time ``t`` is a
+closed-form function of the workload segment model and fault history, so a
+1000-node cluster costs nothing while idle and experiments scale to the
+paper's cluster sizes on one box.
+"""
+
+from repro.hardware.cpu import CPU, CPUSpec
+from repro.hardware.disk import Disk, DiskSpec
+from repro.hardware.faults import FaultInjector, FaultKind, FaultRecord
+from repro.hardware.memory import Memory, MemorySpec
+from repro.hardware.nic import NIC, NICSpec
+from repro.hardware.node import NodeState, SimulatedNode
+from repro.hardware.psu import PSU, PSUSpec
+from repro.hardware.sensors import Fan, ThermalModel, ThermalSpec, VoltageSensor
+from repro.hardware.workload import Workload, WorkloadGenerator, WorkloadSegment
+
+__all__ = [
+    "CPU",
+    "CPUSpec",
+    "Disk",
+    "DiskSpec",
+    "Fan",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRecord",
+    "Memory",
+    "MemorySpec",
+    "NIC",
+    "NICSpec",
+    "NodeState",
+    "PSU",
+    "PSUSpec",
+    "SimulatedNode",
+    "ThermalModel",
+    "ThermalSpec",
+    "VoltageSensor",
+    "Workload",
+    "WorkloadGenerator",
+    "WorkloadSegment",
+]

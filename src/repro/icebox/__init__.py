@@ -1,0 +1,30 @@
+"""The ICE Box: per-rack power, probes, serial console and protocols (§3)."""
+
+from repro.icebox.box import IceBox
+from repro.icebox.power import (
+    INLET_RATING_AMPS,
+    AuxOutlet,
+    NodeOutlet,
+    PowerController,
+    aggregate_draw,
+    peak_inrush,
+)
+from repro.icebox.probes import PowerProbe, ResetLine, TemperatureProbe
+from repro.icebox.security import FilterRule, IPFilter
+from repro.icebox.serial_console import SerialPort
+
+__all__ = [
+    "AuxOutlet",
+    "FilterRule",
+    "INLET_RATING_AMPS",
+    "IPFilter",
+    "IceBox",
+    "NodeOutlet",
+    "PowerController",
+    "PowerProbe",
+    "ResetLine",
+    "SerialPort",
+    "TemperatureProbe",
+    "aggregate_draw",
+    "peak_inrush",
+]

@@ -1,0 +1,173 @@
+"""ICE Box power subsystem (§3.1).
+
+Each ICE Box feeds 10 node outlets and 2 auxiliary outlets from two 15 A
+inlets (5 nodes + 1 aux per inlet).  Node outlets can be cycled on demand;
+aux outlets are powered whenever the box has power — "to ensure that host
+nodes, switches and other devices are not powered off by mistake".
+
+Power-up *sequencing* staggers outlet switch-on so the PSU inrush
+transients do not stack; :func:`aggregate_draw` and :func:`peak_inrush`
+evaluate the analytic PSU draw curves to quantify exactly that (experiment
+E10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.node import SimulatedNode
+from repro.sim import SimKernel
+
+__all__ = ["NodeOutlet", "AuxOutlet", "PowerController",
+           "aggregate_draw", "peak_inrush"]
+
+#: rated amps per inlet; exceeding this in E10 means a tripped breaker.
+INLET_RATING_AMPS = 15.0
+
+
+class NodeOutlet:
+    """A switchable outlet feeding one compute node."""
+
+    def __init__(self, index: int, inlet: int):
+        self.index = index
+        self.inlet = inlet
+        self.node: Optional[SimulatedNode] = None
+        self.on = False
+
+    def connect(self, node: SimulatedNode) -> None:
+        self.node = node
+
+    def switch_on(self) -> None:
+        if self.node is None:
+            self.on = True
+            return
+        self.on = True
+        self.node.power_on()
+
+    def switch_off(self) -> None:
+        self.on = False
+        if self.node is not None:
+            self.node.power_off()
+
+    def draw(self, t: float) -> float:
+        if not self.on or self.node is None:
+            return 0.0
+        return self.node.psu.draw(t)
+
+
+class AuxOutlet:
+    """Always-on outlet for host nodes, switches, storage."""
+
+    def __init__(self, index: int, inlet: int, load_watts: float = 120.0):
+        self.index = index
+        self.inlet = inlet
+        self.load_watts = load_watts
+
+    def draw(self, t: float) -> float:
+        return self.load_watts
+
+
+class PowerController:
+    """The 12 outlets of one ICE Box, with sequencing policy."""
+
+    N_NODE_OUTLETS = 10
+    N_AUX_OUTLETS = 2
+
+    def __init__(self, kernel: SimKernel, *, volts: float = 115.0):
+        self.kernel = kernel
+        self.volts = volts
+        # Outlets 0-4 on inlet 0, 5-9 on inlet 1; one aux per inlet.
+        self.node_outlets: List[NodeOutlet] = [
+            NodeOutlet(i, inlet=0 if i < 5 else 1)
+            for i in range(self.N_NODE_OUTLETS)]
+        self.aux_outlets: List[AuxOutlet] = [
+            AuxOutlet(0, inlet=0), AuxOutlet(1, inlet=1)]
+
+    def outlet(self, port: int) -> NodeOutlet:
+        if not 0 <= port < self.N_NODE_OUTLETS:
+            raise IndexError(f"node outlet {port} out of range 0..9")
+        return self.node_outlets[port]
+
+    def connect(self, port: int, node: SimulatedNode) -> None:
+        self.outlet(port).connect(node)
+
+    # -- switching ---------------------------------------------------------
+    def power_on(self, port: int) -> None:
+        self.outlet(port).switch_on()
+
+    def power_off(self, port: int) -> None:
+        self.outlet(port).switch_off()
+
+    def power_cycle(self, port: int, *, off_time: float = 2.0):
+        """Cycle one outlet; returns a process event (yieldable)."""
+        outlet = self.outlet(port)
+
+        def _cycle():
+            outlet.switch_off()
+            yield self.kernel.timeout(off_time)
+            outlet.switch_on()
+
+        return self.kernel.process(_cycle(), name=f"cycle:{port}")
+
+    def sequenced_power_on(self, ports: Optional[Sequence[int]] = None, *,
+                           stagger: float = 1.0):
+        """Switch outlets on one at a time, ``stagger`` seconds apart.
+
+        This is the paper's "automatically sequences power, reducing the
+        risk of power spikes".  Returns a process event that fires when the
+        last outlet is on.
+        """
+        if ports is None:
+            ports = range(self.N_NODE_OUTLETS)
+        ports = list(ports)
+
+        def _sequence():
+            for i, port in enumerate(ports):
+                if i:
+                    yield self.kernel.timeout(stagger)
+                self.outlet(port).switch_on()
+
+        return self.kernel.process(_sequence(), name="power-seq")
+
+    def simultaneous_power_on(self,
+                              ports: Optional[Sequence[int]] = None) -> None:
+        """The no-sequencing baseline: everything at once."""
+        if ports is None:
+            ports = range(self.N_NODE_OUTLETS)
+        for port in ports:
+            self.outlet(port).switch_on()
+
+    # -- electrical accounting ----------------------------------------------
+    def inlet_draw(self, inlet: int, t: float) -> float:
+        """Watts on one inlet at time ``t``."""
+        watts = sum(o.draw(t) for o in self.node_outlets
+                    if o.inlet == inlet)
+        watts += sum(a.draw(t) for a in self.aux_outlets
+                     if a.inlet == inlet)
+        return watts
+
+    def inlet_amps(self, inlet: int, t: float) -> float:
+        return self.inlet_draw(inlet, t) / self.volts
+
+
+def aggregate_draw(nodes: Sequence[SimulatedNode],
+                   times: np.ndarray) -> np.ndarray:
+    """Total watts of ``nodes`` sampled at ``times`` (vectorized over nodes)."""
+    total = np.zeros_like(times, dtype=float)
+    for node in nodes:
+        total += np.array([node.psu.draw(float(t)) for t in times])
+    return total
+
+
+def peak_inrush(nodes: Sequence[SimulatedNode], t0: float, t1: float,
+                *, resolution: float = 0.01,
+                volts: float = 115.0) -> tuple[float, float]:
+    """Peak aggregate amps (and its time) over ``[t0, t1]``."""
+    times = np.arange(t0, t1, resolution)
+    if len(times) == 0:
+        raise ValueError("empty sampling window")
+    amps = aggregate_draw(nodes, times) / volts
+    idx = int(np.argmax(amps))
+    return float(amps[idx]), float(times[idx])

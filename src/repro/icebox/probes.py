@@ -1,0 +1,71 @@
+"""ICE Box in-node probes (§3.2): temperature, power, and the reset switch.
+
+The probes read the *hardware* models directly — they work even when the
+node's OS is crashed or hung, which is exactly why the paper routes
+temperature monitoring through the ICE Box rather than lm_sensors on the
+node ("temperature monitoring is usually accomplished using the ICE Box
+sensors").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.node import NodeState, SimulatedNode
+
+__all__ = ["TemperatureProbe", "PowerProbe", "ResetLine"]
+
+
+class TemperatureProbe:
+    """Reads the node's CPU/board temperatures out-of-band."""
+
+    def __init__(self, node: SimulatedNode):
+        self.node = node
+
+    def cpu_temperature(self, t: float) -> float:
+        return self.node.thermal.temperature(t)
+
+    def board_temperature(self, t: float) -> float:
+        # The board sits between ambient and the CPU.
+        cpu = self.node.thermal.temperature(t)
+        ambient = self.node.thermal.spec.ambient
+        return ambient + 0.4 * (cpu - ambient)
+
+    def fan_rpm(self, t: float) -> float:
+        load = self.node.cpu.utilization(t) if self.node.is_running() else 0.0
+        return self.node.thermal.fan.rpm(load)
+
+
+class PowerProbe:
+    """Detects failing power supplies (§3.2)."""
+
+    def __init__(self, node: SimulatedNode):
+        self.node = node
+
+    def voltage(self, t: float) -> float:
+        return self.node.psu.probe_voltage(t)
+
+    def watts(self, t: float) -> float:
+        return self.node.psu.draw(t)
+
+    def supply_ok(self, t: float) -> bool:
+        """False when the PSU is dead or delivering badly out-of-spec power."""
+        if self.node.psu.failed:
+            return False
+        if not self.node.psu.is_on:
+            return True  # off is not a fault
+        return self.voltage(t) >= self.node.psu.spec.volts * 0.92
+
+
+class ResetLine:
+    """The in-node reset switch: reboot without a full power cycle (§3.2)."""
+
+    def __init__(self, node: SimulatedNode):
+        self.node = node
+
+    def assert_reset(self) -> bool:
+        """Pulse reset. Returns False if the node cannot respond (no power)."""
+        if self.node.state in (NodeState.OFF, NodeState.BURNED):
+            return False
+        self.node.reset()
+        return True

@@ -1,0 +1,26 @@
+"""ICE Box access protocols: SIMP, NIMP, telnet, ssh, SNMP (§3.4)."""
+
+from repro.icebox.protocols.base import NetworkService, ProtocolError
+from repro.icebox.protocols.nimp import NIMPServer
+from repro.icebox.protocols.simp import SIMPServer
+from repro.icebox.protocols.snmp import ENTERPRISE_OID, SNMPAgent
+from repro.icebox.protocols.ssh import SSHServer, SSHSession
+from repro.icebox.protocols.telnet import (
+    CONSOLE_PORT_BASE,
+    TelnetServer,
+    TelnetSession,
+)
+
+__all__ = [
+    "CONSOLE_PORT_BASE",
+    "ENTERPRISE_OID",
+    "NIMPServer",
+    "NetworkService",
+    "ProtocolError",
+    "SIMPServer",
+    "SNMPAgent",
+    "SSHServer",
+    "SSHSession",
+    "TelnetServer",
+    "TelnetSession",
+]

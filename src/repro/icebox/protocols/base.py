@@ -1,0 +1,31 @@
+"""Shared machinery for ICE Box access protocols (§3.4).
+
+Every protocol ultimately front-ends :meth:`repro.icebox.box.IceBox.execute`;
+what differs is framing, authentication, and whether the transport is the
+serial line or the onboard Ethernet (where the IP filter applies).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.icebox.box import IceBox
+from repro.icebox.security import IPFilter
+
+__all__ = ["ProtocolError", "NetworkService"]
+
+
+class ProtocolError(Exception):
+    """Framing or authorization failure at the protocol layer."""
+
+
+class NetworkService:
+    """Base for Ethernet-borne services: applies the box's IP filter."""
+
+    def __init__(self, box: IceBox, ip_filter: Optional[IPFilter] = None):
+        self.box = box
+        self.ip_filter = ip_filter if ip_filter is not None else IPFilter()
+
+    def check_source(self, source_ip: str) -> None:
+        if not self.ip_filter.permits(source_ip):
+            raise ProtocolError(f"connection from {source_ip} filtered")

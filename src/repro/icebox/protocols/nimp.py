@@ -1,0 +1,36 @@
+"""NIMP — the Network ICE Management Protocol (§3.4).
+
+The Ethernet twin of SIMP: same command set, datagram framed, subject to
+the box's IP filter.  This is the protocol ClusterWorX itself uses to drive
+ICE Boxes.  Frames are::
+
+    request:  NIMP/1.0 <command...>\n
+    response: NIMP/1.0 <OK|ERR>[: payload]\n
+"""
+
+from __future__ import annotations
+
+from repro.icebox.box import IceBox
+from repro.icebox.protocols.base import NetworkService, ProtocolError
+
+__all__ = ["NIMPServer"]
+
+
+class NIMPServer(NetworkService):
+    """Handles NIMP datagrams from management hosts."""
+
+    VERSION = "NIMP/1.0"
+
+    def __init__(self, box: IceBox, ip_filter=None):
+        super().__init__(box, ip_filter)
+        self.requests_handled = 0
+
+    def handle_request(self, source_ip: str, datagram: str) -> str:
+        self.check_source(source_ip)
+        datagram = datagram.rstrip("\n")
+        prefix, _, command = datagram.partition(" ")
+        if prefix != self.VERSION:
+            raise ProtocolError(f"bad NIMP version {prefix!r}")
+        result = self.box.execute(command)
+        self.requests_handled += 1
+        return f"{self.VERSION} {result}\n"

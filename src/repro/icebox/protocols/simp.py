@@ -1,0 +1,38 @@
+"""SIMP — the Serial ICE Management Protocol (§3.4).
+
+Runs over the ICE Box's own serial line, so there is no IP filtering and no
+login: physical access is the credential.  Frames are::
+
+    request:  SIMP <seq> <command...>\r\n
+    response: SIMP <seq> <OK|ERR>[: payload]\r\n
+
+Sequence numbers let a driver match responses on a shared line.
+"""
+
+from __future__ import annotations
+
+from repro.icebox.box import IceBox
+from repro.icebox.protocols.base import ProtocolError
+
+__all__ = ["SIMPServer"]
+
+
+class SIMPServer:
+    """Parses SIMP frames and executes them on the box."""
+
+    def __init__(self, box: IceBox):
+        self.box = box
+        self.frames_handled = 0
+
+    def handle_frame(self, frame: str) -> str:
+        frame = frame.rstrip("\r\n")
+        parts = frame.split(None, 2)
+        if len(parts) < 2 or parts[0] != "SIMP":
+            raise ProtocolError(f"bad SIMP frame: {frame!r}")
+        seq = parts[1]
+        if not seq.isdigit():
+            raise ProtocolError(f"bad SIMP sequence number: {seq!r}")
+        command = parts[2] if len(parts) == 3 else ""
+        result = self.box.execute(command)
+        self.frames_handled += 1
+        return f"SIMP {seq} {result}\r\n"

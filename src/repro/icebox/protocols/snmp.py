@@ -1,0 +1,104 @@
+"""SNMP compliance (§3.4): "ICE Boxes can be controlled through standard
+SNMP management software."
+
+A small agent exposing an enterprise OID subtree; GET for probes and outlet
+state, SET on the outlet administrative-state column for power control.
+
+OID layout (enterprise prefix ``1.3.6.1.4.1.7777``)::
+
+    .1.0            sysDescr (string)
+    .2.<port>.1     outlet admin state (1=on, 2=off)  [read-write]
+    .2.<port>.2     node CPU temperature, centi-degC  [read-only]
+    .2.<port>.3     PSU voltage, centi-volts          [read-only]
+    .2.<port>.4     fan RPM                           [read-only]
+    .2.<port>.5     node state (string)               [read-only]
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.icebox.box import IceBox
+from repro.icebox.protocols.base import NetworkService, ProtocolError
+
+__all__ = ["SNMPAgent", "ENTERPRISE_OID"]
+
+ENTERPRISE_OID = "1.3.6.1.4.1.7777"
+
+
+class SNMPAgent(NetworkService):
+    """GET/SET/WALK over the ICE Box enterprise subtree."""
+
+    def __init__(self, box: IceBox, ip_filter=None, *,
+                 community: str = "public",
+                 write_community: str = "private"):
+        super().__init__(box, ip_filter)
+        self.community = community
+        self.write_community = write_community
+
+    def _split(self, oid: str) -> List[int]:
+        if not oid.startswith(ENTERPRISE_OID):
+            raise ProtocolError(f"OID {oid} outside enterprise subtree")
+        rest = oid[len(ENTERPRISE_OID):].strip(".")
+        return [int(x) for x in rest.split(".")] if rest else []
+
+    def get(self, source_ip: str, community: str,
+            oid: str) -> Union[int, str]:
+        self.check_source(source_ip)
+        if community not in (self.community, self.write_community):
+            raise ProtocolError("bad community")
+        suffix = self._split(oid)
+        now = self.box.kernel.now
+        if suffix == [1, 0]:
+            return f"{self.box.FIRMWARE_VERSION} ({self.box.name})"
+        if len(suffix) == 3 and suffix[0] == 2:
+            _, port, column = suffix
+            node = self.box.node_at(port)
+            if node is None:
+                raise ProtocolError(f"no such instance: port {port}")
+            if column == 1:
+                return 1 if self.box.power.outlet(port).on else 2
+            if column == 2:
+                return int(self.box.temperature_probe(port)
+                           .cpu_temperature(now) * 100)
+            if column == 3:
+                return int(self.box.power_probe(port).voltage(now) * 100)
+            if column == 4:
+                return int(self.box.temperature_probe(port).fan_rpm(now))
+            if column == 5:
+                return node.state.value
+        raise ProtocolError(f"no such object: {oid}")
+
+    def set(self, source_ip: str, community: str, oid: str,
+            value: int) -> None:
+        self.check_source(source_ip)
+        if community != self.write_community:
+            raise ProtocolError("write requires the private community")
+        suffix = self._split(oid)
+        if len(suffix) == 3 and suffix[0] == 2 and suffix[2] == 1:
+            port = suffix[1]
+            if self.box.node_at(port) is None:
+                raise ProtocolError(f"no such instance: port {port}")
+            if value == 1:
+                self.box.power.power_on(port)
+            elif value == 2:
+                self.box.power.power_off(port)
+            else:
+                raise ProtocolError(f"bad admin-state value {value}")
+            return
+        raise ProtocolError(f"not writable: {oid}")
+
+    def walk(self, source_ip: str, community: str
+             ) -> List[Tuple[str, Union[int, str]]]:
+        """Return the whole subtree as (oid, value) pairs."""
+        self.check_source(source_ip)
+        results: List[Tuple[str, Union[int, str]]] = [
+            (f"{ENTERPRISE_OID}.1.0",
+             self.get(source_ip, community, f"{ENTERPRISE_OID}.1.0"))]
+        for port in range(len(self.box.ports)):
+            if self.box.node_at(port) is None:
+                continue
+            for column in range(1, 6):
+                oid = f"{ENTERPRISE_OID}.2.{port}.{column}"
+                results.append((oid, self.get(source_ip, community, oid)))
+        return results

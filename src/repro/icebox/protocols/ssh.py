@@ -1,0 +1,65 @@
+"""SSH access to the ICE Box (§3.4): v1 & v2, key or password auth.
+
+The transport security itself is out of scope (the simulation carries no
+real secrets); what is modelled is the *management* behaviour — protocol
+version negotiation, key-based authorization, and the same
+management-shell/console-port split as telnet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.icebox.box import IceBox
+from repro.icebox.protocols.base import NetworkService, ProtocolError
+from repro.icebox.protocols.telnet import CONSOLE_PORT_BASE, TelnetSession
+
+__all__ = ["SSHServer", "SSHSession"]
+
+
+class SSHSession(TelnetSession):
+    """Same session semantics as telnet, plus key auth."""
+
+    def __init__(self, server: "SSHServer", source_ip: str,
+                 console_index: Optional[int], protocol_version: int):
+        super().__init__(server, source_ip, console_index)
+        self.protocol_version = protocol_version
+
+    def login_key(self, username: str, public_key: str) -> bool:
+        keys = self.server.authorized_keys.get(username, set())
+        self.authenticated = public_key in keys
+        return self.authenticated
+
+
+class SSHServer(NetworkService):
+    """Accepts ssh v1/v2 connections; ports as for telnet (22 / 2001+n)."""
+
+    SUPPORTED_VERSIONS = (1, 2)
+
+    def __init__(self, box: IceBox, ip_filter=None, *,
+                 credentials: Optional[dict] = None):
+        super().__init__(box, ip_filter)
+        self.credentials: Dict[str, str] = credentials or {"admin": "icebox"}
+        self.authorized_keys: Dict[str, Set[str]] = {}
+        self.sessions: List[SSHSession] = []
+
+    def add_key(self, username: str, public_key: str) -> None:
+        self.authorized_keys.setdefault(username, set()).add(public_key)
+
+    def connect(self, source_ip: str, tcp_port: int = 22, *,
+                protocol_version: int = 2) -> SSHSession:
+        self.check_source(source_ip)
+        if protocol_version not in self.SUPPORTED_VERSIONS:
+            raise ProtocolError(
+                f"unsupported ssh protocol version {protocol_version}")
+        console_index: Optional[int] = None
+        if tcp_port != 22:
+            console_index = tcp_port - CONSOLE_PORT_BASE
+            if not 0 <= console_index < len(self.box.ports):
+                raise ProtocolError(f"no service on tcp port {tcp_port}")
+        session = SSHSession(self, source_ip, console_index,
+                             protocol_version)
+        # TelnetSession.__init__ stored a reference to *its* server class
+        # attribute expectations; SSHSession shares them via inheritance.
+        self.sessions.append(session)
+        return session

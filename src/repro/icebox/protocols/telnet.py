@@ -1,0 +1,79 @@
+"""Telnet access to the ICE Box and its attached devices (§3.4).
+
+"Telnet and ssh connections can be established either with the ICE Box or
+with each individual device connected to the ICE Box using specific port
+numbers."  Port 23 lands in the management shell; ports 2001..2010 attach
+directly to the serial console of node port 0..9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.icebox.box import IceBox
+from repro.icebox.protocols.base import NetworkService, ProtocolError
+
+__all__ = ["TelnetServer", "TelnetSession", "CONSOLE_PORT_BASE"]
+
+CONSOLE_PORT_BASE = 2001
+
+
+class TelnetSession:
+    """One authenticated interactive session."""
+
+    def __init__(self, server: "TelnetServer", source_ip: str,
+                 console_index: Optional[int]):
+        self.server = server
+        self.source_ip = source_ip
+        self.console_index = console_index
+        self.authenticated = False
+        self.closed = False
+        self.output: List[str] = []
+        if console_index is not None:
+            port = server.box.console(console_index)
+            port.subscribe(self.output.append)
+            self._console = port
+        else:
+            self._console = None
+
+    def login(self, username: str, password: str) -> bool:
+        self.authenticated = self.server.credentials.get(username) == password
+        return self.authenticated
+
+    def command(self, line: str) -> str:
+        """Management-shell command (only on the management port)."""
+        if self.closed:
+            raise ProtocolError("session closed")
+        if not self.authenticated:
+            return "ERR: login required"
+        if self.console_index is not None:
+            # On a console port, input is forwarded to the device instead.
+            ok = self._console.send(line)
+            return "" if ok else "ERR: device not responding"
+        return self.server.box.execute(line)
+
+    def close(self) -> None:
+        if self._console is not None:
+            self._console.unsubscribe(self.output.append)
+        self.closed = True
+
+
+class TelnetServer(NetworkService):
+    """Accepts telnet connections on the management and console ports."""
+
+    def __init__(self, box: IceBox, ip_filter=None, *,
+                 credentials: Optional[dict] = None):
+        super().__init__(box, ip_filter)
+        self.credentials = credentials or {"admin": "icebox"}
+        self.sessions: List[TelnetSession] = []
+
+    def connect(self, source_ip: str, tcp_port: int = 23) -> TelnetSession:
+        self.check_source(source_ip)
+        console_index: Optional[int] = None
+        if tcp_port != 23:
+            console_index = tcp_port - CONSOLE_PORT_BASE
+            if not 0 <= console_index < len(self.box.ports):
+                raise ProtocolError(f"no service on tcp port {tcp_port}")
+        session = TelnetSession(self, source_ip, console_index)
+        self.sessions.append(session)
+        return session

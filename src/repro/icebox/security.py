@@ -1,0 +1,68 @@
+"""Native IP filtering for ICE Box network access (§3.4).
+
+"native IP filtering can be used for higher security" — an ordered
+allow/deny rule list over dotted-quad prefixes, evaluated first-match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["IPFilter", "FilterRule"]
+
+
+def _parse_cidr(cidr: str) -> tuple[int, int]:
+    """Return (network, mask) as 32-bit ints for ``a.b.c.d[/n]``."""
+    if "/" in cidr:
+        addr, _, bits_s = cidr.partition("/")
+        bits = int(bits_s)
+    else:
+        addr, bits = cidr, 32
+    if not 0 <= bits <= 32:
+        raise ValueError(f"bad prefix length in {cidr!r}")
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {addr!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad octet in {addr!r}")
+        value = (value << 8) | octet
+    mask = 0 if bits == 0 else (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+    return value & mask, mask
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    action: str      # "allow" | "deny"
+    network: int
+    mask: int
+    source: str      # original CIDR text, for display
+
+    def matches(self, addr: int) -> bool:
+        return (addr & self.mask) == self.network
+
+
+class IPFilter:
+    """First-match allow/deny list with a configurable default."""
+
+    def __init__(self, default_allow: bool = True):
+        self.rules: List[FilterRule] = []
+        self.default_allow = default_allow
+
+    def allow(self, cidr: str) -> None:
+        net, mask = _parse_cidr(cidr)
+        self.rules.append(FilterRule("allow", net, mask, cidr))
+
+    def deny(self, cidr: str) -> None:
+        net, mask = _parse_cidr(cidr)
+        self.rules.append(FilterRule("deny", net, mask, cidr))
+
+    def permits(self, address: str) -> bool:
+        addr, _ = _parse_cidr(address)
+        for rule in self.rules:
+            if rule.matches(addr):
+                return rule.action == "allow"
+        return self.default_allow

@@ -1,0 +1,28 @@
+"""Image management and disk cloning (§4)."""
+
+from repro.imaging.image import (
+    DEFAULT_BLOCK_SIZE,
+    PREBUILT_IMAGES,
+    DiskImage,
+    ImageBuilder,
+)
+from repro.imaging.manager import ConsistencyReport, ImageManager
+from repro.imaging.multicast_clone import ACK_TIME, CloneReport, MulticastCloner
+from repro.imaging.unicast_clone import (
+    ParallelUnicastCloner,
+    SequentialUnicastCloner,
+)
+
+__all__ = [
+    "ACK_TIME",
+    "CloneReport",
+    "ConsistencyReport",
+    "DEFAULT_BLOCK_SIZE",
+    "DiskImage",
+    "ImageBuilder",
+    "ImageManager",
+    "MulticastCloner",
+    "ParallelUnicastCloner",
+    "PREBUILT_IMAGES",
+    "SequentialUnicastCloner",
+]

@@ -1,0 +1,109 @@
+"""Disk images (§4).
+
+An image is the unit the cloning system distributes: an OS + application
+payload built on the management host.  Identity is (name, generation); a
+deterministic checksum over the metadata stands in for content hashing and
+is what consistency checks compare.
+
+"For convenience we offer prebuilt images for cloning, harddisk as well as
+NFS boot" — see :data:`PREBUILT_IMAGES`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["DiskImage", "ImageBuilder", "PREBUILT_IMAGES"]
+
+#: default cloning block size (bytes).
+DEFAULT_BLOCK_SIZE = 512 * 1024
+
+
+@dataclass(frozen=True)
+class DiskImage:
+    """An immutable image generation."""
+
+    name: str
+    generation: int
+    size: int
+    boot_mode: str = "harddisk"          # "harddisk" | "nfs"
+    packages: Tuple[str, ...] = ()
+    kernel_version: str = "2.4.18"
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError("image size must be positive")
+        if self.block_size <= 0:
+            raise ValueError("block size must be positive")
+        if self.boot_mode not in ("harddisk", "nfs"):
+            raise ValueError(f"unknown boot mode {self.boot_mode!r}")
+
+    @property
+    def n_blocks(self) -> int:
+        return -(-self.size // self.block_size)  # ceil division
+
+    @property
+    def checksum(self) -> str:
+        ident = (f"{self.name}:{self.generation}:{self.size}:"
+                 f"{self.boot_mode}:{','.join(self.packages)}:"
+                 f"{self.kernel_version}")
+        return hashlib.sha1(ident.encode()).hexdigest()[:16]
+
+    def with_packages(self, *packages: str) -> "DiskImage":
+        """A new generation with additional packages installed."""
+        return DiskImage(
+            name=self.name, generation=self.generation + 1,
+            size=self.size + 32 * (1 << 20) * len(packages),
+            boot_mode=self.boot_mode,
+            packages=tuple(sorted(set(self.packages) | set(packages))),
+            kernel_version=self.kernel_version,
+            block_size=self.block_size)
+
+    def with_kernel(self, version: str) -> "DiskImage":
+        """A new generation with an updated kernel (§4: "more easily
+        update the kernel on all nodes")."""
+        return DiskImage(
+            name=self.name, generation=self.generation + 1,
+            size=self.size, boot_mode=self.boot_mode,
+            packages=self.packages, kernel_version=version,
+            block_size=self.block_size)
+
+
+class ImageBuilder:
+    """Builds customized images "with little effort" (§4)."""
+
+    BASE_SIZE = 1536 << 20        # 1.5 GiB base OS payload
+    PACKAGE_SIZE = 32 << 20
+
+    def __init__(self, name: str, boot_mode: str = "harddisk"):
+        self.name = name
+        self.boot_mode = boot_mode
+        self._packages: List[str] = []
+        self._kernel = "2.4.18"
+
+    def add_packages(self, *packages: str) -> "ImageBuilder":
+        self._packages.extend(packages)
+        return self
+
+    def set_kernel(self, version: str) -> "ImageBuilder":
+        self._kernel = version
+        return self
+
+    def build(self, generation: int = 1) -> DiskImage:
+        size = self.BASE_SIZE + self.PACKAGE_SIZE * len(self._packages)
+        return DiskImage(
+            name=self.name, generation=generation, size=size,
+            boot_mode=self.boot_mode,
+            packages=tuple(sorted(set(self._packages))),
+            kernel_version=self._kernel)
+
+
+PREBUILT_IMAGES: Dict[str, DiskImage] = {
+    "compute-harddisk": ImageBuilder("compute-harddisk")
+    .add_packages("mpich", "pbs-mom", "monitoring-agent").build(),
+    "compute-nfs": ImageBuilder("compute-nfs", boot_mode="nfs")
+    .add_packages("mpich", "monitoring-agent").build(),
+}

@@ -1,0 +1,125 @@
+"""The image manager (§4): library, assignment, and consistency checking.
+
+"Administrators are able to load the OS and applications to build the
+required functionality into an image.  Then ClusterWorX automatically
+clones the images to selected nodes."  The manager owns the image library,
+remembers which image each node *should* run, and audits which image each
+node's disk *actually* carries — the "disk image consistency" the section
+opens with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.node import SimulatedNode
+from repro.imaging.image import PREBUILT_IMAGES, DiskImage, ImageBuilder
+
+__all__ = ["ImageManager", "ConsistencyReport"]
+
+
+class ConsistencyReport:
+    """Which nodes match their assigned image, and which do not."""
+
+    def __init__(self) -> None:
+        self.consistent: List[str] = []
+        self.stale: List[str] = []       # older generation of the right image
+        self.wrong: List[str] = []       # different image entirely / bare
+        self.unassigned: List[str] = []
+
+    @property
+    def is_consistent(self) -> bool:
+        return not (self.stale or self.wrong)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ConsistencyReport ok={len(self.consistent)} "
+                f"stale={len(self.stale)} wrong={len(self.wrong)}>")
+
+
+class ImageManager:
+    """Image library + node assignments."""
+
+    def __init__(self, *, include_prebuilt: bool = True):
+        self._images: Dict[str, DiskImage] = {}
+        self._assignments: Dict[str, str] = {}  # hostname -> image name
+        if include_prebuilt:
+            for image in PREBUILT_IMAGES.values():
+                self._images[image.name] = image
+
+    # -- library -----------------------------------------------------------
+    @property
+    def images(self) -> List[DiskImage]:
+        return sorted(self._images.values(), key=lambda i: i.name)
+
+    def get(self, name: str) -> DiskImage:
+        image = self._images.get(name)
+        if image is None:
+            raise KeyError(f"no image named {name!r}")
+        return image
+
+    def add(self, image: DiskImage) -> None:
+        existing = self._images.get(image.name)
+        if existing is not None and image.generation <= existing.generation:
+            raise ValueError(
+                f"image {image.name!r} generation {image.generation} "
+                f"does not supersede {existing.generation}")
+        self._images[image.name] = image
+
+    def build(self, name: str, *, boot_mode: str = "harddisk",
+              packages: Sequence[str] = (),
+              kernel: Optional[str] = None) -> DiskImage:
+        builder = ImageBuilder(name, boot_mode=boot_mode)
+        builder.add_packages(*packages)
+        if kernel is not None:
+            builder.set_kernel(kernel)
+        existing = self._images.get(name)
+        generation = existing.generation + 1 if existing else 1
+        image = builder.build(generation)
+        self._images[name] = image
+        return image
+
+    def update_packages(self, name: str, *packages: str) -> DiskImage:
+        """New generation of ``name`` with extra packages (§4 "update files
+        or packages on the nodes in parallel")."""
+        image = self.get(name).with_packages(*packages)
+        self._images[name] = image
+        return image
+
+    def update_kernel(self, name: str, version: str) -> DiskImage:
+        image = self.get(name).with_kernel(version)
+        self._images[name] = image
+        return image
+
+    # -- assignment ----------------------------------------------------------
+    def assign(self, nodes: Sequence[SimulatedNode], image_name: str) -> None:
+        self.get(image_name)  # validate
+        for node in nodes:
+            self._assignments[node.hostname] = image_name
+
+    def assigned_image(self, node: SimulatedNode) -> Optional[DiskImage]:
+        name = self._assignments.get(node.hostname)
+        return self._images.get(name) if name else None
+
+    # -- consistency -----------------------------------------------------------
+    def audit(self, nodes: Sequence[SimulatedNode]) -> ConsistencyReport:
+        """Compare every node's installed image against its assignment."""
+        report = ConsistencyReport()
+        for node in nodes:
+            expected = self.assigned_image(node)
+            if expected is None:
+                report.unassigned.append(node.hostname)
+                continue
+            installed = (node.disk.installed_image
+                         if node.disk is not None else None)
+            if installed is None:
+                report.wrong.append(node.hostname)
+                continue
+            name, generation, checksum = installed
+            if name != expected.name:
+                report.wrong.append(node.hostname)
+            elif (generation != expected.generation
+                  or checksum != expected.checksum):
+                report.stale.append(node.hostname)
+            else:
+                report.consistent.append(node.hostname)
+        return report

@@ -1,0 +1,170 @@
+"""Reliable multicast disk cloning (§4).
+
+The protocol, as the paper describes it:
+
+1. all participating nodes listen to the multicast stream, buffering the
+   received data locally;
+2. once the stream is spread out, nodes acknowledge reception **in a
+   round-robin fashion controlled by the cloning host**;
+3. a node still lacking image data gets the missing parts during its turn
+   of the acknowledging phase, **peer-to-peer with the master**;
+4. as soon as a node has all the data, it clones locally and **reboots
+   itself to operational mode**.
+
+The headline result this reproduces: "It took about 12 min. to clone and
+reboot over 400 nodes of the Lawrence Livermore cluster" on a single fast
+Ethernet — possible only because the stream crosses the shared segment
+once, regardless of node count.
+
+``protocol_efficiency`` models reliable-multicast pacing overhead (FEC/
+rate-limiting so slow receivers keep up); the wire moves ``size /
+efficiency`` bytes worth of time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.node import NodeState, SimulatedNode
+from repro.imaging.image import DiskImage
+from repro.network.fabric import NetworkFabric
+from repro.network.multicast import MulticastGroup
+from repro.sim import Process, SimKernel
+
+__all__ = ["CloneReport", "MulticastCloner"]
+
+#: seconds for a node's acknowledge round-trip in the round-robin phase.
+ACK_TIME = 0.05
+
+
+@dataclass
+class CloneReport:
+    """Outcome of one cloning run."""
+
+    image: DiskImage
+    started_at: float
+    stream_done_at: float = 0.0
+    ack_done_at: float = 0.0
+    finished_at: float = 0.0
+    targets: int = 0
+    cloned: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    repaired_blocks: Dict[str, int] = field(default_factory=dict)
+    repair_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def stream_seconds(self) -> float:
+        return self.stream_done_at - self.started_at
+
+    @property
+    def repair_seconds(self) -> float:
+        return self.ack_done_at - self.stream_done_at
+
+
+class MulticastCloner:
+    """Clones an image from the management host over reliable multicast."""
+
+    def __init__(self, kernel: SimKernel, fabric: NetworkFabric,
+                 master: SimulatedNode, *, rng: np.random.Generator,
+                 loss_rate: float = 0.002,
+                 protocol_efficiency: float = 0.45):
+        if not 0 < protocol_efficiency <= 1:
+            raise ValueError("protocol_efficiency must be in (0, 1]")
+        self.kernel = kernel
+        self.fabric = fabric
+        self.master = master
+        self.rng = rng
+        self.loss_rate = loss_rate
+        self.protocol_efficiency = protocol_efficiency
+
+    def clone(self, targets: Sequence[SimulatedNode], image: DiskImage, *,
+              reboot: bool = True) -> Process:
+        """Start a cloning run; the process's value is a :class:`CloneReport`."""
+        return self.kernel.process(
+            self._run(list(targets), image, reboot),
+            name=f"clone:{image.name}@{image.generation}")
+
+    # ------------------------------------------------------------------
+    def _run(self, targets: List[SimulatedNode], image: DiskImage,
+             reboot: bool):
+        report = CloneReport(image=image, started_at=self.kernel.now,
+                             targets=len(targets))
+        live = [t for t in targets if t.is_running()]
+        report.skipped = [t.hostname for t in targets if not t.is_running()]
+
+        if not live:
+            report.stream_done_at = report.ack_done_at = \
+                report.finished_at = self.kernel.now
+            return report
+
+        # Phase 1: the multicast stream (one pass over the shared segment).
+        group = MulticastGroup(self.fabric, f"239.0.0.{image.generation}",
+                               rng=self.rng, loss_rate=self.loss_rate)
+        for node in live:
+            group.join(node)
+        wire_blocks = int(np.ceil(image.n_blocks / self.protocol_efficiency))
+        stream_done, missing = group.stream_blocks(
+            self.master, wire_blocks, image.block_size, tag="clone-stream")
+        yield stream_done
+        # The loss model was drawn over wire blocks; clamp to image blocks.
+        for host in missing:
+            missing[host] = {b for b in missing[host] if b < image.n_blocks}
+        report.stream_done_at = self.kernel.now
+
+        # Phase 2: round-robin acknowledge + peer-to-peer repair.
+        for node in live:
+            yield self.kernel.timeout(ACK_TIME)
+            if not node.is_running():
+                # Died while buffering: drop from the run.
+                report.skipped.append(node.hostname)
+                continue
+            lost = missing.get(node.hostname, set())
+            if lost:
+                nbytes = len(lost) * image.block_size
+                report.repaired_blocks[node.hostname] = len(lost)
+                report.repair_bytes += nbytes
+                done = self.fabric.unicast(self.master, node, nbytes,
+                                           tag="clone-repair")
+                yield done
+        report.ack_done_at = self.kernel.now
+
+        # Phase 3: local clone + reboot, all nodes in parallel.
+        finishers = []
+        for node in live:
+            if node.hostname in report.skipped:
+                continue
+            finishers.append(self.kernel.process(
+                self._finish_node(node, image, reboot),
+                name=f"clone-local:{node.hostname}"))
+        results = yield self.kernel.all_of(finishers)
+        for event in finishers:
+            host = results.get(event)
+            if host is not None:
+                report.cloned.append(host)
+        report.finished_at = self.kernel.now
+        return report
+
+    def _finish_node(self, node: SimulatedNode, image: DiskImage,
+                     reboot: bool):
+        if node.disk is None:
+            return None  # diskless nodes NFS-boot; nothing to clone
+        # Local write of the buffered image to disk.
+        yield self.kernel.timeout(node.disk.write_time(image.size))
+        if not node.is_running():
+            return None
+        node.disk.install_image(image.name, image.generation,
+                                image.checksum, image.size)
+        if reboot:
+            node.reset()
+            reached = yield node.wait_state(NodeState.UP, NodeState.CRASHED,
+                                            NodeState.OFF, NodeState.BURNED)
+            if reached is not NodeState.UP:
+                return None
+        return node.hostname

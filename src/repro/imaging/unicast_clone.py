@@ -1,0 +1,112 @@
+"""Unicast cloning baselines for the E4 comparison.
+
+The paper's multicast claim only means something against what everyone did
+before: pushing the image to each node over TCP.  Two baselines:
+
+* :class:`SequentialUnicastCloner` — one node at a time (rsync-in-a-loop).
+  Time grows linearly with node count.
+* :class:`ParallelUnicastCloner` — all transfers at once; they share the
+  master's NIC and the segment, so aggregate time is *still* linear in node
+  count (the bottleneck just moves), but per-node disk writes overlap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hardware.node import NodeState, SimulatedNode
+from repro.imaging.image import DiskImage
+from repro.imaging.multicast_clone import CloneReport
+from repro.network.fabric import NetworkFabric
+from repro.sim import Process, SimKernel
+
+__all__ = ["SequentialUnicastCloner", "ParallelUnicastCloner"]
+
+
+class _UnicastClonerBase:
+    def __init__(self, kernel: SimKernel, fabric: NetworkFabric,
+                 master: SimulatedNode):
+        self.kernel = kernel
+        self.fabric = fabric
+        self.master = master
+
+    def clone(self, targets: Sequence[SimulatedNode], image: DiskImage, *,
+              reboot: bool = True) -> Process:
+        return self.kernel.process(
+            self._run(list(targets), image, reboot),
+            name=f"{type(self).__name__}:{image.name}")
+
+    def _finish_node(self, node: SimulatedNode, image: DiskImage,
+                     reboot: bool):
+        if node.disk is None:
+            return None  # diskless nodes NFS-boot; nothing to clone
+        yield self.kernel.timeout(node.disk.write_time(image.size))
+        if not node.is_running():
+            return None
+        node.disk.install_image(image.name, image.generation,
+                                image.checksum, image.size)
+        if reboot:
+            node.reset()
+            reached = yield node.wait_state(NodeState.UP, NodeState.CRASHED,
+                                            NodeState.OFF, NodeState.BURNED)
+            if reached is not NodeState.UP:
+                return None
+        return node.hostname
+
+    def _run(self, targets, image, reboot):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield
+
+
+class SequentialUnicastCloner(_UnicastClonerBase):
+    """Push the image to one node at a time."""
+
+    def _run(self, targets: List[SimulatedNode], image: DiskImage,
+             reboot: bool):
+        report = CloneReport(image=image, started_at=self.kernel.now,
+                             targets=len(targets))
+        finishers = []
+        for node in targets:
+            if not node.is_running():
+                report.skipped.append(node.hostname)
+                continue
+            yield self.fabric.unicast(self.master, node, image.size,
+                                      tag="clone-unicast")
+            # Local write + reboot overlaps with the next node's transfer.
+            finishers.append(self.kernel.process(
+                self._finish_node(node, image, reboot)))
+        report.stream_done_at = report.ack_done_at = self.kernel.now
+        results = yield self.kernel.all_of(finishers)
+        report.cloned = [h for h in results.values() if h is not None]
+        report.finished_at = self.kernel.now
+        return report
+
+
+class ParallelUnicastCloner(_UnicastClonerBase):
+    """Push the image to every node concurrently (shared bottleneck)."""
+
+    def _run(self, targets: List[SimulatedNode], image: DiskImage,
+             reboot: bool):
+        report = CloneReport(image=image, started_at=self.kernel.now,
+                             targets=len(targets))
+        live = [t for t in targets if t.is_running()]
+        report.skipped = [t.hostname for t in targets if not t.is_running()]
+        transfers = {
+            node: self.fabric.unicast(self.master, node, image.size,
+                                      tag="clone-unicast")
+            for node in live}
+        finishers = []
+        for node, transfer in transfers.items():
+            finishers.append(self.kernel.process(
+                self._after_transfer(node, transfer, image, reboot)))
+        report.stream_done_at = report.ack_done_at = self.kernel.now
+        results = yield self.kernel.all_of(finishers)
+        report.cloned = [h for h in results.values() if h is not None]
+        report.finished_at = self.kernel.now
+        return report
+
+    def _after_transfer(self, node, transfer, image, reboot):
+        yield transfer
+        result = yield self.kernel.process(
+            self._finish_node(node, image, reboot))
+        return result

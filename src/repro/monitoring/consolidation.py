@@ -1,0 +1,121 @@
+"""Stage 2 of the monitoring pipeline: consolidation (§5.3.2).
+
+Responsibilities straight from the paper:
+
+* combine data from multiple sources gathered at independent rates;
+* distinguish **static** from **dynamic** monitoring data, and transmit
+  "only data that has *changed* since the last transmission" — this is
+  what "reduces the amount of transferred data substantially";
+* cache the consolidated view so "simultaneous requests can be served
+  using the same set of data", reducing the burden on the node.
+
+Everything runs on the node (the gatherer is the owner of the data); the
+server only ever sees the deltas the consolidator releases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+__all__ = ["Consolidator"]
+
+_MISSING = object()
+
+
+class Consolidator:
+    """Per-node change-suppressing merge of monitor values."""
+
+    def __init__(self, *, static_names: Iterable[str] = (),
+                 deadband: float = 0.0, cache_ttl: float = 1.0):
+        """``deadband``: relative change below which a numeric dynamic value
+        counts as unchanged (0 = exact comparison).  ``cache_ttl``: how long
+        a consolidated snapshot may serve simultaneous requests."""
+        if deadband < 0:
+            raise ValueError("deadband must be >= 0")
+        self.static_names: Set[str] = set(static_names)
+        self.deadband = deadband
+        self.cache_ttl = cache_ttl
+        self._current: Dict[str, object] = {}
+        self._transmitted: Dict[str, object] = {}
+        self._static_sent: Set[str] = set()
+        self._cache_time: Optional[float] = None
+        # -- statistics for E6 --
+        self.values_seen = 0
+        self.values_released = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- merging -------------------------------------------------------------
+    def _changed(self, name: str, new: object) -> bool:
+        old = self._transmitted.get(name, _MISSING)
+        if old is _MISSING:
+            return True
+        if (self.deadband > 0.0
+                and isinstance(new, (int, float))
+                and isinstance(old, (int, float))
+                and not isinstance(new, bool)):
+            # Relative to the last *transmitted* value, so repeated small
+            # steps cannot creep arbitrarily far without ever releasing.
+            scale = abs(old) if old != 0 else max(abs(new), 1e-12)
+            return abs(new - old) / scale > self.deadband
+        return new != old
+
+    def update(self, values: Dict[str, object], t: float
+               ) -> Dict[str, object]:
+        """Merge one gather; return only what must be transmitted.
+
+        Static values are released once (and again only if they actually
+        change — e.g. the installed image after a reclone).  Dynamic values
+        are released when they differ from the last *transmitted* value by
+        more than the deadband.
+        """
+        delta: Dict[str, object] = {}
+        for name, value in values.items():
+            self.values_seen += 1
+            self._current[name] = value
+            if name in self.static_names and name in self._static_sent:
+                if not self._changed(name, value):
+                    continue
+            if self._changed(name, value):
+                delta[name] = value
+                self._transmitted[name] = value
+                if name in self.static_names:
+                    self._static_sent.add(name)
+        self.values_released += len(delta)
+        self._cache_time = t
+        return delta
+
+    @property
+    def suppressed(self) -> int:
+        """Values absorbed by change suppression so far."""
+        return self.values_seen - self.values_released
+
+    @property
+    def suppression_ratio(self) -> float:
+        if self.values_seen == 0:
+            return 0.0
+        return self.suppressed / self.values_seen
+
+    # -- the request cache --------------------------------------------------------
+    def snapshot(self, t: float, regather=None) -> Dict[str, object]:
+        """Serve a full current view; regather only when the cache is stale.
+
+        ``regather`` is a zero-argument callable producing fresh values; it
+        is invoked only on cache miss, which is how simultaneous requests
+        share one gather.
+        """
+        if (self._cache_time is not None
+                and t - self._cache_time <= self.cache_ttl):
+            self.cache_hits += 1
+            return dict(self._current)
+        self.cache_misses += 1
+        if regather is not None:
+            fresh = regather()
+            self._current.update(fresh)
+        self._cache_time = t
+        return dict(self._current)
+
+    def force_full_retransmit(self) -> None:
+        """Invalidate transmitted state (server reconnect, agent restart)."""
+        self._transmitted.clear()
+        self._static_sent.clear()

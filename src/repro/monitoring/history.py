@@ -1,0 +1,297 @@
+"""Historical graphing storage (§5.1).
+
+"Historical graphing allows the administrator to chart monitoring values
+over time ... view cluster use and performance trends over a selected time
+interval, analyze the relationships between monitored values, or compare
+performance between nodes."
+
+:class:`HistoryStore` keeps one numpy-backed ring per (node, metric) and
+provides windowed queries, RRD-style downsampling for chart rendering,
+cross-node comparison, and a correlation helper for the "relationships
+between monitored values" use case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.ringbuffer import TimeSeriesRing
+
+__all__ = ["HistoryStore", "TieredHistory"]
+
+
+class HistoryStore:
+    """Time-series history for every (node, metric) pair."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._series: Dict[Tuple[str, str], TimeSeriesRing] = {}
+
+    def record(self, hostname: str, t: float,
+               values: Dict[str, object]) -> None:
+        """Store the numeric subset of one update."""
+        for name, value in values.items():
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, (int, float)):
+                continue
+            key = (hostname, name)
+            ring = self._series.get(key)
+            if ring is None:
+                ring = TimeSeriesRing(self.capacity)
+                self._series[key] = ring
+            ring.append(t, float(value))
+
+    # -- queries ------------------------------------------------------------
+    def series(self, hostname: str, metric: str
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        ring = self._series.get((hostname, metric))
+        if ring is None:
+            return np.empty(0), np.empty(0)
+        return ring.arrays()
+
+    def window(self, hostname: str, metric: str, t0: float, t1: float
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        ring = self._series.get((hostname, metric))
+        if ring is None:
+            return np.empty(0), np.empty(0)
+        return ring.window(t0, t1)
+
+    def latest(self, hostname: str, metric: str
+               ) -> Optional[Tuple[float, float]]:
+        ring = self._series.get((hostname, metric))
+        return ring.latest() if ring is not None else None
+
+    def graph(self, hostname: str, metric: str, buckets: int = 60
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Downsampled (centers, mean, min, max) for chart rendering."""
+        ring = self._series.get((hostname, metric))
+        if ring is None:
+            empty = np.empty(0)
+            return empty, empty, empty, empty
+        return ring.downsample(buckets)
+
+    def compare_nodes(self, hostnames: Sequence[str], metric: str
+                      ) -> Dict[str, float]:
+        """Mean of ``metric`` per node over its stored history."""
+        result: Dict[str, float] = {}
+        for hostname in hostnames:
+            _, v = self.series(hostname, metric)
+            if len(v):
+                result[hostname] = float(np.mean(v))
+        return result
+
+    def correlate(self, hostname: str, metric_a: str, metric_b: str
+                  ) -> float:
+        """Pearson correlation between two metrics on one node.
+
+        Series are resampled onto the union time grid by nearest-previous
+        interpolation before correlating.  Returns NaN when either series
+        is too short or constant.
+        """
+        ta, va = self.series(hostname, metric_a)
+        tb, vb = self.series(hostname, metric_b)
+        if len(ta) < 3 or len(tb) < 3:
+            return float("nan")
+        grid = np.union1d(ta, tb)
+        ia = np.clip(np.searchsorted(ta, grid, side="right") - 1, 0,
+                     len(ta) - 1)
+        ib = np.clip(np.searchsorted(tb, grid, side="right") - 1, 0,
+                     len(tb) - 1)
+        a, b = va[ia], vb[ib]
+        if np.std(a) == 0 or np.std(b) == 0:
+            return float("nan")
+        return float(np.corrcoef(a, b)[0, 1])
+
+    def trend(self, hostname: str, metric: str, *,
+              window: Optional[float] = None
+              ) -> Tuple[float, float]:
+        """Least-squares linear trend ``(slope per second, intercept)``.
+
+        ``window`` restricts the fit to the trailing seconds of history.
+        Returns (nan, nan) when there is not enough data.
+        """
+        t, v = self.series(hostname, metric)
+        if window is not None and len(t):
+            mask = t >= t[-1] - window
+            t, v = t[mask], v[mask]
+        if len(t) < 2 or t[-1] == t[0]:
+            return float("nan"), float("nan")
+        slope, intercept = np.polyfit(t, v, 1)
+        return float(slope), float(intercept)
+
+    def forecast(self, hostname: str, metric: str, at: float, *,
+                 window: Optional[float] = None) -> float:
+        """Extrapolated value of ``metric`` at future time ``at``.
+
+        The §5.1 use case: "predict future computing needs" — e.g. when a
+        leaking node exhausts memory or a filesystem fills.
+        """
+        slope, intercept = self.trend(hostname, metric, window=window)
+        return slope * at + intercept
+
+    def time_to_threshold(self, hostname: str, metric: str,
+                          threshold: float, *,
+                          window: Optional[float] = None
+                          ) -> Optional[float]:
+        """Predicted absolute time the trend crosses ``threshold``.
+
+        None when the trend never reaches it (wrong direction or flat).
+        """
+        slope, intercept = self.trend(hostname, metric, window=window)
+        if not np.isfinite(slope):
+            return None
+        # Treat numerically-flat trends as flat: a slope that would take
+        # longer than 1000x the observed history to cross is noise.
+        t, v = self.series(hostname, metric)
+        span = float(t[-1] - t[0]) if len(t) >= 2 else 0.0
+        scale = float(np.max(np.abs(v))) if len(v) else 1.0
+        if span > 0 and abs(slope) * span * 1000.0 < max(
+                abs(threshold - intercept), 1e-12 * max(scale, 1.0)):
+            return None
+        if slope == 0.0:
+            return None
+        crossing = (threshold - intercept) / slope
+        latest = self.latest(hostname, metric)
+        if latest is None or crossing <= latest[0]:
+            current = latest[1] if latest else None
+            if current is not None:
+                # Already past it in the trend direction?
+                if (slope > 0 and current >= threshold) or \
+                        (slope < 0 and current <= threshold):
+                    return latest[0]
+            return None
+        return float(crossing)
+
+    # -- persistence ------------------------------------------------------
+    def export_text(self) -> str:
+        """Serialize every series as ``host metric t value`` lines.
+
+        The monitoring philosophy of §5.3.3 applied to storage: text,
+        human-readable, platform-independent — compress it at rest if you
+        care about bytes.
+        """
+        lines = []
+        for (host, metric) in sorted(self._series):
+            t, v = self.series(host, metric)
+            for ti, vi in zip(t, v):
+                lines.append(f"{host} {metric} "
+                             f"{float(ti)!r} {float(vi)!r}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def import_text(cls, text: str, capacity: int = 4096) -> "HistoryStore":
+        """Rebuild a store from :meth:`export_text` output."""
+        store = cls(capacity=capacity)
+        for line_no, line in enumerate(text.splitlines(), 1):
+            if not line.strip():
+                continue
+            fields = line.split()
+            if len(fields) != 4:
+                raise ValueError(f"bad history line {line_no}: {line!r}")
+            host, metric, t_s, v_s = fields
+            try:
+                store.record(host, float(t_s), {metric: float(v_s)})
+            except ValueError:
+                raise ValueError(
+                    f"bad history line {line_no}: {line!r}") from None
+        return store
+
+    # -- bookkeeping ----------------------------------------------------------
+    @property
+    def metric_names(self) -> List[str]:
+        return sorted({metric for _, metric in self._series})
+
+    @property
+    def hostnames(self) -> List[str]:
+        return sorted({host for host, _ in self._series})
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class TieredHistory:
+    """RRD-style multi-resolution archive for one metric stream.
+
+    The raw ring holds recent samples at full resolution; each coarser
+    tier stores fixed-width bin aggregates (mean/min/max) covering a
+    longer horizon in the same memory.  This is how a 2002-era monitoring
+    server kept "performance trends over a selected time interval"
+    without unbounded storage: recent data sharp, old data summarized.
+    """
+
+    def __init__(self, *, raw_capacity: int = 512,
+                 tier_widths: Sequence[float] = (60.0, 3600.0),
+                 tier_capacity: int = 512):
+        widths = list(tier_widths)
+        if sorted(widths) != widths or len(set(widths)) != len(widths):
+            raise ValueError("tier widths must be strictly increasing")
+        self.raw = TimeSeriesRing(raw_capacity)
+        self.tier_widths = widths
+        #: per tier: ring of (bin start time, mean) plus min/max rings.
+        self._tiers = [
+            {"mean": TimeSeriesRing(tier_capacity),
+             "min": TimeSeriesRing(tier_capacity),
+             "max": TimeSeriesRing(tier_capacity)}
+            for _ in widths]
+        # open bin accumulators per tier: [start, count, total, lo, hi]
+        self._open = [None] * len(widths)
+
+    def append(self, t: float, value: float) -> None:
+        self.raw.append(t, value)
+        for idx, width in enumerate(self.tier_widths):
+            bin_start = (t // width) * width
+            acc = self._open[idx]
+            if acc is None or acc[0] != bin_start:
+                if acc is not None:
+                    self._flush(idx, acc)
+                acc = [bin_start, 0, 0.0, value, value]
+                self._open[idx] = acc
+            acc[1] += 1
+            acc[2] += value
+            acc[3] = min(acc[3], value)
+            acc[4] = max(acc[4], value)
+
+    def _flush(self, idx: int, acc) -> None:
+        start, count, total, lo, hi = acc
+        tier = self._tiers[idx]
+        tier["mean"].append(start, total / count)
+        tier["min"].append(start, lo)
+        tier["max"].append(start, hi)
+
+    def flush(self) -> None:
+        """Close all open bins (call before reading tiers at a boundary)."""
+        for idx, acc in enumerate(self._open):
+            if acc is not None:
+                self._flush(idx, acc)
+                self._open[idx] = None
+
+    def tier(self, idx: int) -> dict:
+        """Closed-bin arrays for tier ``idx``: keys mean/min/max."""
+        tier = self._tiers[idx]
+        return {key: ring.arrays() for key, ring in tier.items()}
+
+    def best_series(self, t0: float, t1: float
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The finest series that still covers ``[t0, t1]``.
+
+        Falls back through coarser tiers as the raw ring's horizon is
+        exceeded — exactly the RRD read path.
+        """
+        t, v = self.raw.window(t0, t1)
+        raw_t, _ = self.raw.arrays()
+        if len(raw_t) and raw_t[0] <= t0:
+            return t, v
+        for idx in range(len(self.tier_widths)):
+            mt, mv = self.tier(idx)["mean"]
+            if len(mt) and mt[0] <= t0:
+                mask = (mt >= t0) & (mt <= t1)
+                return mt[mask], mv[mask]
+        # Nothing covers the start: return the coarsest we have.
+        if self.tier_widths:
+            mt, mv = self.tier(len(self.tier_widths) - 1)["mean"]
+            mask = (mt >= t0) & (mt <= t1)
+            return mt[mask], mv[mask]
+        return t, v

@@ -1,0 +1,127 @@
+"""Plug-in support (§5.1): "A plugin itself can be any program, script
+(shell, perl, etc.) or any combination thereof — as long as it resides in
+the ClusterWorX plug-in directory it will be recognized by the system
+automatically."
+
+Two plug-in shapes are recognized when a directory is scanned:
+
+* Python files (``*.py``) defining a module-level ``MONITORS`` list of
+  ``(name, callable, static)`` tuples, or a single ``monitor(context)``
+  function (registered under the file's stem).
+* Executable scripts (any other file with the executable bit) that print
+  ``name value`` pairs to stdout; they are wrapped in a
+  :class:`ScriptMonitor` and invoked with the node hostname as argv[1].
+
+Plug-ins land in the same :class:`~repro.monitoring.monitors.MonitorRegistry`
+the built-ins live in, so the consolidation/transmission/event machinery
+treats them identically.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.monitoring.monitors import Monitor, MonitorContext, MonitorRegistry
+
+__all__ = ["PluginError", "ScriptMonitor", "load_plugin_dir",
+           "register_function"]
+
+
+class PluginError(Exception):
+    """A plug-in failed to load or produced bad output."""
+
+
+class ScriptMonitor:
+    """Wraps an executable plug-in; each evaluation runs the script."""
+
+    def __init__(self, path: Path, timeout: float = 5.0):
+        self.path = Path(path)
+        self.timeout = timeout
+
+    def __call__(self, ctx: MonitorContext) -> Dict[str, float]:
+        try:
+            proc = subprocess.run(
+                [str(self.path), ctx.node.hostname],
+                capture_output=True, text=True, timeout=self.timeout)
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            raise PluginError(f"plugin {self.path.name} failed: {exc}")
+        if proc.returncode != 0:
+            raise PluginError(
+                f"plugin {self.path.name} exited {proc.returncode}: "
+                f"{proc.stderr.strip()}")
+        values: Dict[str, float] = {}
+        for line in proc.stdout.splitlines():
+            fields = line.split()
+            if len(fields) != 2:
+                continue
+            try:
+                values[fields[0]] = float(fields[1])
+            except ValueError:
+                values[fields[0]] = fields[1]  # type: ignore[assignment]
+        if not values:
+            raise PluginError(
+                f"plugin {self.path.name} produced no 'name value' lines")
+        return values
+
+
+def register_function(registry: MonitorRegistry, name: str, fn, *,
+                      static: bool = False, units: str = "") -> None:
+    """Programmatic plug-in registration (the Python-API path)."""
+    registry.add(Monitor(name=name, fn=fn, static=static, units=units,
+                         source="plugin"))
+
+
+def _load_python_plugin(registry: MonitorRegistry, path: Path) -> List[str]:
+    spec = importlib.util.spec_from_file_location(
+        f"cwx_plugin_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise PluginError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        raise PluginError(f"plugin {path.name} raised on import: {exc}")
+    registered: List[str] = []
+    monitors = getattr(module, "MONITORS", None)
+    if monitors is not None:
+        for entry in monitors:
+            name, fn = entry[0], entry[1]
+            static = bool(entry[2]) if len(entry) > 2 else False
+            register_function(registry, name, fn, static=static)
+            registered.append(name)
+        return registered
+    fn = getattr(module, "monitor", None)
+    if callable(fn):
+        register_function(registry, path.stem, fn)
+        return [path.stem]
+    raise PluginError(
+        f"plugin {path.name} defines neither MONITORS nor monitor()")
+
+
+def load_plugin_dir(registry: MonitorRegistry,
+                    directory: str | Path) -> List[str]:
+    """Scan ``directory`` and register everything recognizable.
+
+    Returns the names of the monitors registered.  Unrecognized files are
+    skipped silently (the directory may hold plugin data files); files that
+    *look* like plug-ins but fail to load raise :class:`PluginError`.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise PluginError(f"no such plugin directory: {directory}")
+    registered: List[str] = []
+    for path in sorted(directory.iterdir()):
+        if path.name.startswith(".") or path.is_dir():
+            continue
+        if path.suffix == ".py":
+            registered.extend(_load_python_plugin(registry, path))
+        elif os.access(path, os.X_OK):
+            script = ScriptMonitor(path)
+            register_function(registry, path.stem, script)
+            registered.append(path.stem)
+    return registered

@@ -1,0 +1,27 @@
+"""Simulated cluster network: flow-level fabric, multicast, interconnects."""
+
+from repro.network.fabric import BandwidthPool, Flow, NetworkFabric
+from repro.network.interconnect import (
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    MYRINET,
+    PROFILES,
+    QUADRICS,
+    SCI,
+    InterconnectProfile,
+)
+from repro.network.multicast import MulticastGroup
+
+__all__ = [
+    "BandwidthPool",
+    "FAST_ETHERNET",
+    "Flow",
+    "GIGABIT_ETHERNET",
+    "InterconnectProfile",
+    "MYRINET",
+    "MulticastGroup",
+    "NetworkFabric",
+    "PROFILES",
+    "QUADRICS",
+    "SCI",
+]

@@ -1,0 +1,106 @@
+"""DHCP-style boot configuration service (§2).
+
+"Booting options can be easily changed using ClusterWorX or network
+configuration options such as DHCP."  LinuxBIOS consults this service at
+boot time: the server maps a node's MAC address to an IP lease plus boot
+options (boot source, image name, boot server), with per-MAC overrides on
+top of subnet-wide defaults.
+
+This is the mechanism behind *remote, per-node boot-path control*: change
+a node's entry here and its next reboot follows the new plan — no BIOS
+screen involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+__all__ = ["BootOptions", "Lease", "DHCPServer"]
+
+
+@dataclass(frozen=True)
+class BootOptions:
+    """The boot-relevant option set carried in an offer."""
+
+    boot_source: str = "disk"        # "disk" | "net" | "nfs"
+    image: str = "compute-harddisk"  # image the clone environment targets
+    boot_server_ip: Optional[str] = None
+    #: vendor option: serial console on/off (LinuxBIOS reads it).
+    serial_console: bool = True
+
+
+@dataclass
+class Lease:
+    mac: str
+    ip: str
+    hostname: str
+    options: BootOptions
+    issued_at: float
+    expires_at: float
+
+    def active(self, t: float) -> bool:
+        return t < self.expires_at
+
+
+class DHCPServer:
+    """MAC -> (IP, boot options), with per-MAC overrides over defaults."""
+
+    def __init__(self, *, subnet: str = "10.1", lease_time: float = 86400.0,
+                 defaults: Optional[BootOptions] = None):
+        self.subnet = subnet
+        self.lease_time = lease_time
+        self.defaults = defaults if defaults is not None else BootOptions()
+        self._reservations: Dict[str, str] = {}       # mac -> fixed ip
+        self._overrides: Dict[str, BootOptions] = {}  # mac -> options
+        self._leases: Dict[str, Lease] = {}           # mac -> lease
+        self._next_host = 10
+        self.offers_made = 0
+
+    # -- administration ---------------------------------------------------
+    def reserve(self, mac: str, ip: str) -> None:
+        """Pin a MAC to a fixed address (cluster nodes are all pinned)."""
+        self._reservations[mac.lower()] = ip
+
+    def set_boot_options(self, mac: str, options: BootOptions) -> None:
+        """Per-node boot override — what ClusterWorX edits remotely."""
+        self._overrides[mac.lower()] = options
+
+    def set_default_options(self, options: BootOptions) -> None:
+        self.defaults = options
+
+    def clear_boot_options(self, mac: str) -> None:
+        self._overrides.pop(mac.lower(), None)
+
+    def boot_options_for(self, mac: str) -> BootOptions:
+        return self._overrides.get(mac.lower(), self.defaults)
+
+    # -- protocol ------------------------------------------------------------
+    def discover(self, mac: str, hostname: str, t: float) -> Lease:
+        """DISCOVER/OFFER/REQUEST/ACK collapsed into one exchange."""
+        mac = mac.lower()
+        self.offers_made += 1
+        ip = self._reservations.get(mac)
+        if ip is None:
+            existing = self._leases.get(mac)
+            if existing is not None and existing.active(t):
+                ip = existing.ip
+            else:
+                ip = f"{self.subnet}.{self._next_host // 250}." \
+                     f"{self._next_host % 250 + 1}"
+                self._next_host += 1
+        lease = Lease(mac=mac, ip=ip, hostname=hostname,
+                      options=self.boot_options_for(mac),
+                      issued_at=t, expires_at=t + self.lease_time)
+        self._leases[mac] = lease
+        return lease
+
+    def release(self, mac: str) -> None:
+        self._leases.pop(mac.lower(), None)
+
+    def lease_for(self, mac: str) -> Optional[Lease]:
+        return self._leases.get(mac.lower())
+
+    @property
+    def active_lease_count(self) -> int:
+        return len(self._leases)

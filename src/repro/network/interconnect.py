@@ -1,0 +1,42 @@
+"""Interconnect profiles (§2: LinuxBIOS "can boot over standard Ethernet or
+over other interconnects such as Myrinet, Quadrics, or SCI").
+
+Bandwidth/latency figures are era-appropriate (circa 2002) published
+numbers; they parameterize both the netboot experiment (E5) and any fabric
+built over a non-Ethernet segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["InterconnectProfile", "PROFILES",
+           "FAST_ETHERNET", "GIGABIT_ETHERNET", "MYRINET", "QUADRICS", "SCI"]
+
+
+@dataclass(frozen=True)
+class InterconnectProfile:
+    """Name + sustained bandwidth (bytes/s) + one-way latency (s)."""
+
+    name: str
+    bandwidth: float
+    latency: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` point-to-point (store-and-forward)."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        return self.latency + nbytes / self.bandwidth
+
+
+FAST_ETHERNET = InterconnectProfile("fast-ethernet", 12.5e6, 100e-6)
+GIGABIT_ETHERNET = InterconnectProfile("gigabit-ethernet", 125e6, 50e-6)
+MYRINET = InterconnectProfile("myrinet-2000", 250e6, 6.3e-6)
+QUADRICS = InterconnectProfile("quadrics-elan3", 340e6, 5.0e-6)
+SCI = InterconnectProfile("sci", 300e6, 1.4e-6)
+
+PROFILES: Dict[str, InterconnectProfile] = {
+    p.name: p for p in
+    (FAST_ETHERNET, GIGABIT_ETHERNET, MYRINET, QUADRICS, SCI)
+}

@@ -1,0 +1,33 @@
+"""Simulated /proc virtual filesystem with kernel-faithful read semantics."""
+
+from repro.procfs.filesystem import ProcError, ProcFile, ProcFilesystem
+from repro.procfs.handlers import (
+    gen_cpuinfo,
+    gen_interrupts,
+    gen_loadavg,
+    gen_meminfo,
+    gen_mounts,
+    gen_net_dev,
+    gen_partitions,
+    gen_stat,
+    gen_swaps,
+    gen_uptime,
+    gen_version,
+)
+
+__all__ = [
+    "ProcError",
+    "ProcFile",
+    "ProcFilesystem",
+    "gen_cpuinfo",
+    "gen_interrupts",
+    "gen_loadavg",
+    "gen_meminfo",
+    "gen_mounts",
+    "gen_net_dev",
+    "gen_partitions",
+    "gen_stat",
+    "gen_swaps",
+    "gen_uptime",
+    "gen_version",
+]

@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate every other ``repro`` subsystem runs on: the
+simulated cluster nodes, the network fabric, the ICE Boxes, the monitoring
+agents and the SLURM-lite resource manager are all processes scheduled on a
+single :class:`~repro.sim.kernel.SimKernel` event loop.
+
+The design is intentionally close to SimPy's generator-process model:
+
+* :class:`~repro.sim.kernel.SimKernel` — the event loop (a time-ordered heap).
+* :class:`~repro.sim.kernel.Event` — one-shot events with callbacks.
+* :class:`~repro.sim.kernel.Process` — a generator that yields events.
+* :class:`~repro.sim.kernel.Timeout` — an event that fires after a delay.
+* :class:`~repro.sim.resources.Resource` / :class:`~repro.sim.resources.Store`
+  — contention primitives.
+* :class:`~repro.sim.rng.RandomStreams` — named deterministic RNG streams.
+
+Everything is deterministic given a seed; there is no wall-clock dependence.
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    ProcessKilled,
+    SimKernel,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "RandomStreams",
+    "SimKernel",
+    "Store",
+    "Timeout",
+]

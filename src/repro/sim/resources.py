@@ -1,0 +1,145 @@
+"""Contention primitives for simulation processes.
+
+:class:`Resource` models a fixed number of interchangeable slots (e.g. the
+cloning master's concurrent unicast senders, or an ICE Box's command
+executor).  :class:`Store` models a FIFO buffer of distinct items (e.g. a
+message queue between a node agent and the ClusterWorX server).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Event, SimKernel
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    """Event representing a pending acquire; fires when granted."""
+
+
+class Resource:
+    """``capacity`` interchangeable slots with FIFO granting.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # critical section
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, kernel: SimKernel, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._users: set[_Request] = set()
+        self._queue: deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Event:
+        req = _Request(self.kernel)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Event) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+            return
+        else:
+            raise ValueError("release of a request that was never granted")
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``put`` blocks (as an event) when full; ``get`` blocks when empty.
+    Items are delivered in insertion order; an optional ``filter`` on ``get``
+    delivers the first matching item instead.
+    """
+
+    def __init__(self, kernel: SimKernel,
+                 capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]]
+        self._getters = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.kernel)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        event = Event(self.kernel)
+        self._getters.append((event, filter))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move waiting puts into the buffer while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put_event, item = self._putters.popleft()
+                self.items.append(item)
+                put_event.succeed()
+                progressed = True
+            # Satisfy getters from the buffer.
+            pending: deque = deque()
+            while self._getters:
+                get_event, flt = self._getters.popleft()
+                matched = None
+                if flt is None:
+                    if self.items:
+                        matched = self.items.popleft()
+                        found = True
+                    else:
+                        found = False
+                else:
+                    found = False
+                    for idx, candidate in enumerate(self.items):
+                        if flt(candidate):
+                            matched = candidate
+                            del self.items[idx]
+                            found = True
+                            break
+                if found:
+                    get_event.succeed(matched)
+                    progressed = True
+                else:
+                    pending.append((get_event, flt))
+            self._getters = pending

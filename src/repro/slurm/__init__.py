@@ -1,0 +1,30 @@
+"""SLURM-lite: the resource manager sketched in §6 (future work)."""
+
+from repro.slurm.controller import FailoverPair, NodeAllocState, SlurmController
+from repro.slurm.daemon import Slurmd
+from repro.slurm.job import Job, JobState
+from repro.slurm.partition import Partition
+from repro.slurm.accounting import JobRecord, efficiency_report, sacct
+from repro.slurm.maui import MauiLikeScheduler, MauiWeights
+from repro.slurm.scheduler import BackfillScheduler, FIFOScheduler, Scheduler
+from repro.slurm.views import sinfo, squeue
+
+__all__ = [
+    "JobRecord",
+    "MauiLikeScheduler",
+    "MauiWeights",
+    "efficiency_report",
+    "sacct",
+    "sinfo",
+    "squeue",
+    "BackfillScheduler",
+    "FIFOScheduler",
+    "FailoverPair",
+    "Job",
+    "JobState",
+    "NodeAllocState",
+    "Partition",
+    "Scheduler",
+    "Slurmd",
+    "SlurmController",
+]

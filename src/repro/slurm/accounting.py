@@ -1,0 +1,142 @@
+"""Job accounting and efficiency analysis (sacct-style).
+
+§5.3 opens with why monitoring exists: "The data is used to schedule
+tasks, load-balance devices and services ..." and §5.1 closes with
+"improve cluster efficiency".  This module is that loop closed: join the
+resource manager's job history with the monitoring system's utilization
+history to report, per job, how much of the allocation was actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.monitoring.history import HistoryStore
+from repro.slurm.controller import SlurmController
+from repro.slurm.job import Job, JobState
+
+__all__ = ["JobRecord", "sacct", "efficiency_report"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One accounting row."""
+
+    job_id: int
+    name: str
+    user: str
+    state: str
+    n_nodes: int
+    wait_seconds: float
+    run_seconds: float
+    node_seconds: float
+    requeues: int
+    #: mean observed CPU utilization on the allocation, 0..1, or NaN when
+    #: no monitoring history overlaps the job window.
+    cpu_efficiency: float
+
+
+def _step_mean(t: np.ndarray, v: np.ndarray, t0: float,
+               t1: float) -> Optional[float]:
+    """Time-weighted mean of a right-continuous step series over [t0, t1].
+
+    Monitoring history is change-suppressed, so samples are sparse: the
+    value between samples is the previous sample, and averaging by count
+    would badly misweight long steady phases.
+    """
+    if len(t) == 0 or t1 <= t0:
+        return None
+    # index of the sample in effect at t0 (last sample <= t0)
+    start_idx = int(np.searchsorted(t, t0, side="right")) - 1
+    if start_idx < 0:
+        if t[0] >= t1:
+            return None
+        start_idx = 0
+        t0 = float(t[0])
+    edges = [t0]
+    values = [float(v[start_idx])]
+    for i in range(start_idx + 1, len(t)):
+        if t[i] >= t1:
+            break
+        if t[i] > t0:
+            edges.append(float(t[i]))
+            values.append(float(v[i]))
+    edges.append(t1)
+    total = 0.0
+    for i, value in enumerate(values):
+        total += value * (edges[i + 1] - edges[i])
+    return total / (t1 - t0)
+
+
+def _job_efficiency(job: Job, history: Optional[HistoryStore]) -> float:
+    if (history is None or job.start_time is None
+            or job.end_time is None or not job.allocated):
+        return float("nan")
+    means: List[float] = []
+    for hostname in job.allocated:
+        t, v = history.series(hostname, "cpu_util_pct")
+        mean = _step_mean(t, v, job.start_time, job.end_time)
+        if mean is not None:
+            means.append(mean / 100.0)
+    if not means:
+        return float("nan")
+    return float(np.mean(means))
+
+
+def sacct(ctl: SlurmController, *,
+          history: Optional[HistoryStore] = None,
+          users: Optional[List[str]] = None) -> List[JobRecord]:
+    """Accounting records for every finished job (newest last)."""
+    records: List[JobRecord] = []
+    for job in ctl.history:
+        if users is not None and job.user not in users:
+            continue
+        run = 0.0
+        node_seconds = 0.0
+        if job.start_time is not None and job.end_time is not None:
+            run = job.end_time - job.start_time
+            node_seconds = run * len(job.allocated)
+        records.append(JobRecord(
+            job_id=job.id, name=job.name, user=job.user, state=job.state,
+            n_nodes=job.n_nodes,
+            wait_seconds=job.wait_time or 0.0,
+            run_seconds=run, node_seconds=node_seconds,
+            requeues=job.requeue_count,
+            cpu_efficiency=_job_efficiency(job, history)))
+    return records
+
+
+def efficiency_report(ctl: SlurmController, history: HistoryStore
+                      ) -> Dict[str, object]:
+    """Cluster-efficiency rollup over completed jobs.
+
+    Flags jobs whose allocations sat mostly idle — the §5.1 "improve
+    cluster efficiency" signal an administrator acts on.
+    """
+    records = [r for r in sacct(ctl, history=history)
+               if r.state in (JobState.COMPLETED, JobState.TIMEOUT)]
+    with_eff = [r for r in records if np.isfinite(r.cpu_efficiency)]
+    weighted = 0.0
+    total_ns = sum(r.node_seconds for r in with_eff)
+    if total_ns > 0:
+        weighted = sum(r.cpu_efficiency * r.node_seconds
+                       for r in with_eff) / total_ns
+    wasteful = sorted((r for r in with_eff if r.cpu_efficiency < 0.5),
+                      key=lambda r: r.cpu_efficiency)
+    per_user: Dict[str, List[float]] = {}
+    for record in with_eff:
+        per_user.setdefault(record.user, []).append(
+            record.cpu_efficiency)
+    return {
+        "jobs": len(records),
+        "jobs_with_data": len(with_eff),
+        "weighted_cpu_efficiency": weighted,
+        "wasteful_jobs": [(r.job_id, r.name, r.user,
+                           round(r.cpu_efficiency, 3))
+                          for r in wasteful],
+        "per_user_efficiency": {u: float(np.mean(vals))
+                                for u, vals in sorted(per_user.items())},
+    }

@@ -1,0 +1,85 @@
+"""slurmd — the per-node daemon (§6): launches job steps, watches the node,
+reports completion or failure back to the controller.
+
+A launched job becomes workload segments on the node (so the monitoring
+stack *sees* SLURM jobs as CPU/memory/network load — the two systems
+integrate exactly as they do in the paper's stack).  If the node dies under
+a job, the daemon's state listener reports the failure; SLURM's fault
+tolerance then requeues or fails the job at the controller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.hardware.node import NodeState, SimulatedNode
+from repro.hardware.workload import WorkloadSegment
+from repro.sim import SimKernel
+from repro.slurm.job import Job
+
+__all__ = ["Slurmd"]
+
+#: signature: (job, hostname, ok) — ok False means the node died.
+CompletionCallback = Callable[[Job, str, bool], None]
+
+
+class Slurmd:
+    """One node's daemon."""
+
+    def __init__(self, kernel: SimKernel, node: SimulatedNode):
+        self.kernel = kernel
+        self.node = node
+        self._active: Dict[int, Job] = {}
+        self._on_complete: Optional[CompletionCallback] = None
+        node.state_listeners.append(self._node_state_changed)
+
+    @property
+    def hostname(self) -> str:
+        return self.node.hostname
+
+    @property
+    def responsive(self) -> bool:
+        return (self.node.state is NodeState.UP)
+
+    def set_completion_callback(self, callback: CompletionCallback) -> None:
+        self._on_complete = callback
+
+    # -- launch ------------------------------------------------------------
+    def launch(self, job: Job) -> bool:
+        """Start this node's share of ``job``. False if the node is down."""
+        if not self.responsive:
+            return False
+        now = self.kernel.now
+        run_for = min(job.duration, job.time_limit)
+        self.node.workload.add(WorkloadSegment(
+            start=now, duration=run_for, cpu=job.cpu_per_node,
+            memory=job.memory_per_node, tag=job.tag))
+        self._active[job.id] = job
+        self.kernel.process(self._watch(job), name=f"step:{job.tag}")
+        return True
+
+    def _watch(self, job: Job):
+        run_for = min(job.duration, job.time_limit)
+        yield self.kernel.timeout(run_for)
+        if job.id not in self._active:
+            return  # already killed/failed
+        del self._active[job.id]
+        if self._on_complete is not None:
+            self._on_complete(job, self.hostname, self.responsive)
+
+    # -- termination -----------------------------------------------------------
+    def kill(self, job: Job) -> None:
+        """Cancel this node's share of ``job`` immediately."""
+        if job.id in self._active:
+            del self._active[job.id]
+            self.node.workload.truncate_tagged(job.tag, self.kernel.now)
+
+    def _node_state_changed(self, node: SimulatedNode, old: NodeState,
+                            new: NodeState) -> None:
+        if new in (NodeState.CRASHED, NodeState.OFF, NodeState.BURNED,
+                   NodeState.HUNG, NodeState.HALTED):
+            failed = list(self._active.values())
+            self._active.clear()
+            for job in failed:
+                if self._on_complete is not None:
+                    self._on_complete(job, self.hostname, False)

@@ -1,0 +1,85 @@
+"""Jobs and their lifecycle for the SLURM-lite resource manager (§6).
+
+SLURM's three key functions, per the paper: allocate exclusive and/or
+non-exclusive access to nodes for some duration; provide a framework for
+starting, executing and monitoring (parallel) work on the allocation; and
+arbitrate conflicting requests by managing a queue of pending work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState:
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"          # a node died under the job
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"        # hit its time limit
+
+    TERMINAL = (COMPLETED, FAILED, CANCELLED, TIMEOUT)
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One unit of pending/running work."""
+
+    name: str
+    user: str
+    n_nodes: int
+    time_limit: float                   # seconds the allocation may last
+    duration: float                     # actual run time (sim ground truth)
+    cpu_per_node: float = 1.0
+    memory_per_node: int = 512 << 20
+    exclusive: bool = True
+    priority: int = 0
+    partition: str = "default"
+    #: requeue (instead of fail) when a node dies under the job.
+    requeue: bool = False
+    #: nodes this job must not be placed on again (failed under it).
+    excluded: List[str] = field(default_factory=list)
+    requeue_count: int = 0
+    id: int = field(default_factory=lambda: next(_job_ids))
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    state: str = JobState.PENDING
+    allocated: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+
+    @property
+    def tag(self) -> str:
+        """Workload tag identifying this job's segments on nodes."""
+        return f"job:{self.id}"
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def expected_end(self) -> Optional[float]:
+        """Scheduler's bound on when the allocation frees (start+limit)."""
+        if self.start_time is None:
+            return None
+        return self.start_time + self.time_limit

@@ -1,0 +1,85 @@
+"""A Maui-style external scheduler on the SLURM-lite API (§6).
+
+The paper: SLURM "provide[s] an Applications Programming Interface (API)
+for integration with external schedulers such as The Maui Scheduler."
+This module is that integration, implemented the way Maui actually worked:
+a priority function over queued jobs (queue-time escalation, size scaling,
+per-user fairshare decay) followed by backfill around the top-priority
+reservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.slurm.job import Job
+from repro.slurm.scheduler import BackfillScheduler, Placement, Scheduler
+
+__all__ = ["MauiWeights", "MauiLikeScheduler"]
+
+
+@dataclass(frozen=True)
+class MauiWeights:
+    """Priority-function weights (Maui's QUEUETIMEWEIGHT etc.)."""
+
+    queue_time: float = 1.0          # per second of waiting
+    size: float = 50.0               # per requested node ("XFactor"-ish)
+    user_priority: float = 1000.0    # admin-assigned job priority
+    fairshare: float = 2000.0        # penalty per recent node-second used
+
+
+class MauiLikeScheduler(Scheduler):
+    """Priority + fairshare + backfill."""
+
+    name = "maui-like"
+
+    def __init__(self, weights: MauiWeights = MauiWeights(), *,
+                 fairshare_halflife: float = 3600.0):
+        self.weights = weights
+        self.fairshare_halflife = fairshare_halflife
+        #: per-user decayed node-seconds (updated via record_usage).
+        self._usage: Dict[str, float] = {}
+        self._usage_time = 0.0
+        self._backfill = BackfillScheduler()
+
+    # -- fairshare bookkeeping ---------------------------------------------
+    def _decay(self, now: float) -> None:
+        if now <= self._usage_time:
+            return
+        factor = 0.5 ** ((now - self._usage_time) / self.fairshare_halflife)
+        for user in self._usage:
+            self._usage[user] *= factor
+        self._usage_time = now
+
+    def record_usage(self, job: Job, now: float) -> None:
+        """Call when a job finishes to charge its user's fairshare."""
+        if job.start_time is None or job.end_time is None:
+            return
+        self._decay(now)
+        node_seconds = (job.end_time - job.start_time) * len(job.allocated)
+        self._usage[job.user] = self._usage.get(job.user, 0.0) \
+            + node_seconds
+
+    def fairshare_of(self, user: str) -> float:
+        return self._usage.get(user, 0.0)
+
+    # -- the priority function ------------------------------------------------
+    def priority(self, job: Job, now: float) -> float:
+        w = self.weights
+        submitted = job.submit_time if job.submit_time is not None else now
+        waited = now - submitted
+        usage = self._usage.get(job.user, 0.0)
+        # normalize usage to hours so the weight is meaningful
+        return (w.queue_time * waited
+                + w.size * job.n_nodes
+                + w.user_priority * job.priority
+                - w.fairshare * (usage / 3600.0))
+
+    # -- Scheduler API ---------------------------------------------------------
+    def select(self, queue: Sequence[Job], idle: Sequence[str],
+               running: Sequence[Job], now: float) -> List[Placement]:
+        self._decay(now)
+        ordered = sorted(queue,
+                         key=lambda j: (-self.priority(j, now), j.id))
+        return self._backfill.select(ordered, idle, running, now)

@@ -1,0 +1,31 @@
+"""Partitions: named groups of nodes with policy limits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["Partition"]
+
+
+@dataclass
+class Partition:
+    """A schedulable slice of the cluster."""
+
+    name: str
+    hostnames: List[str] = field(default_factory=list)
+    max_time: float = float("inf")
+    #: partitions can forbid shared (non-exclusive) allocations.
+    allow_shared: bool = True
+
+    def admits(self, job) -> tuple[bool, str]:
+        """Can this job run here at all? Returns (ok, reason)."""
+        if job.n_nodes > len(self.hostnames):
+            return False, (f"job needs {job.n_nodes} nodes, partition "
+                           f"{self.name} has {len(self.hostnames)}")
+        if job.time_limit > self.max_time:
+            return False, (f"time limit {job.time_limit}s exceeds "
+                           f"partition max {self.max_time}s")
+        if not job.exclusive and not self.allow_shared:
+            return False, f"partition {self.name} is exclusive-only"
+        return True, ""

@@ -1,0 +1,122 @@
+"""Scheduling policies and the external-scheduler API (§6).
+
+"SLURM is not a sophisticated batch system, but it does provide an
+Applications Programming Interface (API) for integration with external
+schedulers such as The Maui Scheduler."  That API here is the
+:class:`Scheduler` protocol: the controller hands a scheduler a read-only
+view of the pending queue and node availability, and gets back placement
+decisions.  Two built-ins are provided — strict FIFO and EASY backfill —
+and anything implementing :meth:`Scheduler.select` can be plugged in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.slurm.job import Job
+
+__all__ = ["Scheduler", "FIFOScheduler", "BackfillScheduler"]
+
+#: one placement decision: (job, nodes to run it on).
+Placement = Tuple[Job, List[str]]
+
+
+class Scheduler:
+    """The external-scheduler API surface."""
+
+    name = "abstract"
+
+    def select(self, queue: Sequence[Job], idle: Sequence[str],
+               running: Sequence[Job], now: float) -> List[Placement]:
+        """Choose placements.
+
+        ``queue`` is priority-ordered pending work; ``idle`` the nodes free
+        for exclusive use; ``running`` the active jobs (their
+        ``expected_end()`` bounds future availability).  Implementations
+        must not mutate their inputs; they return placements using each
+        idle node at most once.
+        """
+        raise NotImplementedError  # pragma: no cover
+
+
+class FIFOScheduler(Scheduler):
+    """Strict first-come-first-served: the head of the queue blocks
+    everything behind it until it fits."""
+
+    name = "fifo"
+
+    def select(self, queue, idle, running, now):
+        placements: List[Placement] = []
+        free = list(idle)
+        for job in queue:
+            if job.n_nodes > len(free):
+                break  # strict: nothing may overtake the head
+            nodes, free = free[:job.n_nodes], free[job.n_nodes:]
+            placements.append((job, nodes))
+        return placements
+
+
+class BackfillScheduler(Scheduler):
+    """EASY backfill: the head job gets a reservation; later jobs may use
+    idle nodes *now* only if they cannot delay that reservation."""
+
+    name = "backfill"
+
+    def select(self, queue, idle, running, now):
+        placements: List[Placement] = []
+        free = list(idle)
+        queue = list(queue)
+
+        # Place from the head while it fits (same as FIFO).
+        while queue and queue[0].n_nodes <= len(free):
+            job = queue.pop(0)
+            nodes, free = free[:job.n_nodes], free[job.n_nodes:]
+            placements.append((job, nodes))
+
+        if not queue or not free:
+            return placements
+
+        head = queue[0]
+        shadow_time, spare = self._reservation(head, free, running, now)
+
+        for job in queue[1:]:
+            if not free:
+                break
+            if job.n_nodes > len(free):
+                continue
+            # Safe if it ends before the head's reservation starts, or if
+            # it fits inside the nodes the reservation will not need.
+            ends_by = now + job.time_limit
+            if ends_by <= shadow_time or job.n_nodes <= spare:
+                nodes, free = free[:job.n_nodes], free[job.n_nodes:]
+                if job.n_nodes <= spare:
+                    spare -= job.n_nodes
+                placements.append((job, nodes))
+        return placements
+
+    @staticmethod
+    def _reservation(head: Job, free: List[str],
+                     running: Sequence[Job], now: float
+                     ) -> Tuple[float, int]:
+        """When can ``head`` start, and how many idle nodes will it leave?
+
+        Walk running jobs by expected end time, accumulating released
+        nodes until the head fits.  Returns (shadow start time, number of
+        currently-idle nodes the head will NOT consume at that time).
+        """
+        available = len(free)
+        if head.n_nodes <= available:
+            return now, available - head.n_nodes
+        releases: List[Tuple[float, int]] = sorted(
+            (job.expected_end() or now, len(job.allocated))
+            for job in running)
+        for end_time, n in releases:
+            available += n
+            if head.n_nodes <= available:
+                # At shadow time the head takes n_nodes; whatever idle
+                # nodes remain beyond that are spare for backfilling.
+                spare_then = available - head.n_nodes
+                return end_time, min(spare_then, len(free))
+        # Even with every running job finished the head cannot fit (it is
+        # bigger than the partition): never backfill around it on spares.
+        return float("inf"), 0

@@ -1,0 +1,72 @@
+"""Text status views over a controller: squeue / sinfo equivalents.
+
+SLURM's first user interface was exactly these two tables; they double as
+the CLI backend for ``python -m repro.cli squeue``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.slurm.controller import SlurmController
+from repro.slurm.job import Job, JobState
+
+__all__ = ["squeue", "sinfo"]
+
+
+def _fmt_time(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    minutes, secs = divmod(int(seconds), 60)
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}:{minutes:02d}:{secs:02d}"
+
+
+def squeue(ctl: SlurmController, *, include_done: bool = False) -> str:
+    """The pending/running job table."""
+    header = (f"{'JOBID':>6} {'PARTITION':<10} {'NAME':<12} {'USER':<8} "
+              f"{'ST':<3} {'TIME':>8} {'NODES':>5} NODELIST(REASON)")
+    rows: List[str] = [header]
+    now = ctl.kernel.now
+
+    def add(job: Job, st: str, time_s, nodelist: str) -> None:
+        rows.append(
+            f"{job.id:>6} {job.partition:<10} {job.name[:12]:<12} "
+            f"{job.user[:8]:<8} {st:<3} {_fmt_time(time_s):>8} "
+            f"{job.n_nodes:>5} {nodelist}")
+
+    for job in ctl.queue:
+        submitted = job.submit_time if job.submit_time is not None else now
+        add(job, "PD", now - submitted, "(Resources)")
+    for job in sorted(ctl.running.values(), key=lambda j: j.id):
+        started = job.start_time if job.start_time is not None else now
+        add(job, "R", now - started,
+            ",".join(job.allocated[:4])
+            + ("..." if len(job.allocated) > 4 else ""))
+    if include_done:
+        state_codes = {JobState.COMPLETED: "CD", JobState.FAILED: "F",
+                       JobState.CANCELLED: "CA", JobState.TIMEOUT: "TO"}
+        for job in ctl.history:
+            runtime = None
+            if job.start_time is not None and job.end_time is not None:
+                runtime = job.end_time - job.start_time
+            add(job, state_codes.get(job.state, "?"), runtime, "")
+    return "\n".join(rows)
+
+
+def sinfo(ctl: SlurmController) -> str:
+    """The partition/node-state table."""
+    header = (f"{'PARTITION':<12} {'AVAIL':<6} {'NODES':>5} "
+              f"{'STATE':<10} EXAMPLES")
+    rows = [header]
+    for pname, partition in sorted(ctl._partitions.items()):
+        by_state: dict[str, List[str]] = {}
+        for hostname in partition.hostnames:
+            state = ctl.node_alloc_state(hostname)
+            by_state.setdefault(state, []).append(hostname)
+        for state, hosts in sorted(by_state.items()):
+            sample = ",".join(hosts[:3]) + ("..." if len(hosts) > 3
+                                            else "")
+            rows.append(f"{pname:<12} {'up':<6} {len(hosts):>5} "
+                        f"{state:<10} {sample}")
+    return "\n".join(rows)

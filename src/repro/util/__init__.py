@@ -1,0 +1,24 @@
+"""Shared utilities: ring buffers, units, streaming statistics, compression."""
+
+from repro.util.ringbuffer import ByteRingBuffer, TimeSeriesRing
+from repro.util.stats import StreamingStats
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    fmt_bytes,
+    fmt_duration,
+    mbit_per_s,
+)
+
+__all__ = [
+    "ByteRingBuffer",
+    "GIB",
+    "KIB",
+    "MIB",
+    "StreamingStats",
+    "TimeSeriesRing",
+    "fmt_bytes",
+    "fmt_duration",
+    "mbit_per_s",
+]

@@ -1,0 +1,161 @@
+"""Fixed-capacity ring buffers.
+
+Two variants are used throughout the framework:
+
+* :class:`ByteRingBuffer` — the ICE Box's 16 KB per-port serial capture
+  buffer (§3.3 of the paper): appending past capacity silently discards the
+  oldest bytes, which is exactly the post-mortem semantics the paper
+  describes ("logging and buffering (up to 16k) of the output").
+* :class:`TimeSeriesRing` — numpy-backed (timestamp, value) history used by
+  the monitoring server for historical graphing (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ByteRingBuffer", "TimeSeriesRing"]
+
+
+class ByteRingBuffer:
+    """A bounded byte buffer that keeps only the most recent ``capacity`` bytes."""
+
+    def __init__(self, capacity: int = 16 * 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buf = bytearray()
+        #: total bytes ever written (including discarded ones)
+        self.total_written = 0
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def discarded(self) -> int:
+        """Bytes lost to overflow so far."""
+        return self.total_written - len(self._buf)
+
+    def write(self, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8", errors="replace")
+        self.total_written += len(data)
+        if len(data) >= self.capacity:
+            # The new chunk alone overflows: keep only its tail.
+            self._buf = bytearray(data[-self.capacity:])
+            return
+        self._buf.extend(data)
+        overflow = len(self._buf) - self.capacity
+        if overflow > 0:
+            del self._buf[:overflow]
+
+    def snapshot(self) -> bytes:
+        """Current contents, oldest byte first."""
+        return bytes(self._buf)
+
+    def text(self) -> str:
+        return self.snapshot().decode("utf-8", errors="replace")
+
+    def tail_lines(self, n: int) -> list[str]:
+        """Last ``n`` complete-ish lines of the buffer."""
+        return self.text().splitlines()[-n:]
+
+    def clear(self) -> None:
+        self._buf.clear()
+
+
+class TimeSeriesRing:
+    """Fixed-capacity (timestamp, value) series backed by numpy arrays.
+
+    Appends are O(1) amortized; range queries return contiguous numpy views
+    (copies at the wrap seam), which keeps downsampling for historical
+    graphs vectorized — one of the "be easy on the memory / vectorize"
+    idioms the HPC guides call for.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._t = np.empty(capacity, dtype=np.float64)
+        self._v = np.empty(capacity, dtype=np.float64)
+        self._head = 0   # index of next write
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, t: float, value: float) -> None:
+        self._t[self._head] = t
+        self._v[self._head] = value
+        self._head = (self._head + 1) % self.capacity
+        if self._size < self.capacity:
+            self._size += 1
+
+    def extend(self, pairs: Iterable[Tuple[float, float]]) -> None:
+        for t, v in pairs:
+            self.append(t, v)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All stored samples in chronological order."""
+        if self._size < self.capacity:
+            return self._t[: self._size].copy(), self._v[: self._size].copy()
+        order = np.concatenate([np.arange(self._head, self.capacity),
+                                np.arange(0, self._head)])
+        return self._t[order], self._v[order]
+
+    def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples with ``t0 <= t <= t1`` in chronological order."""
+        t, v = self.arrays()
+        mask = (t >= t0) & (t <= t1)
+        return t[mask], v[mask]
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        if self._size == 0:
+            return None
+        idx = (self._head - 1) % self.capacity
+        return float(self._t[idx]), float(self._v[idx])
+
+    def downsample(self, buckets: int) -> Tuple[np.ndarray, np.ndarray,
+                                                np.ndarray, np.ndarray]:
+        """Aggregate into ``buckets`` equal time bins.
+
+        Returns ``(bin_centers, mean, minimum, maximum)`` with NaN for empty
+        bins — the RRD-style consolidation the historical-graphing view
+        uses.
+        """
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        t, v = self.arrays()
+        if len(t) == 0:
+            empty = np.empty(0)
+            return empty, empty, empty, empty
+        lo, hi = t[0], t[-1]
+        if hi == lo:
+            hi = lo + 1.0
+        edges = np.linspace(lo, hi, buckets + 1)
+        idx = np.clip(np.searchsorted(edges, t, side="right") - 1,
+                      0, buckets - 1)
+        mean = np.full(buckets, np.nan)
+        vmin = np.full(buckets, np.nan)
+        vmax = np.full(buckets, np.nan)
+        counts = np.bincount(idx, minlength=buckets).astype(float)
+        sums = np.bincount(idx, weights=v, minlength=buckets)
+        nonzero = counts > 0
+        mean[nonzero] = sums[nonzero] / counts[nonzero]
+        # min/max need a reduction per bucket; do it on the sorted-by-bucket
+        # view so each bucket is one contiguous slice.
+        order = np.argsort(idx, kind="stable")
+        sorted_idx = idx[order]
+        sorted_v = v[order]
+        boundaries = np.flatnonzero(np.diff(sorted_idx)) + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [len(sorted_v)]])
+        for s, e in zip(starts, stops):
+            b = sorted_idx[s]
+            vmin[b] = sorted_v[s:e].min()
+            vmax[b] = sorted_v[s:e].max()
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        return centers, mean, vmin, vmax

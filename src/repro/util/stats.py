@@ -1,0 +1,79 @@
+"""Streaming statistics (Welford) for monitor values and benchmark output."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["StreamingStats"]
+
+
+class StreamingStats:
+    """Single-pass mean/variance/min/max accumulator.
+
+    Numerically stable (Welford's algorithm); used by the monitoring server
+    to keep per-metric summaries without storing every sample, and by the
+    benchmark harness to summarize sweeps.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def update(self, values) -> None:
+        for x in values:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.n < 2:
+            return math.nan
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if not math.isnan(v) else math.nan
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 = (self._m2 + other._m2
+                    + delta * delta * self.n * other.n / n)
+        self._mean += delta * other.n / n
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StreamingStats(n={self.n}, mean={self.mean:.4g}, "
+                f"std={self.std:.4g}, min={self.min:.4g}, max={self.max:.4g})")

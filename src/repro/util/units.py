@@ -1,0 +1,40 @@
+"""Unit constants and formatting helpers used across the framework."""
+
+from __future__ import annotations
+
+__all__ = ["KIB", "MIB", "GIB", "mbit_per_s", "fmt_bytes", "fmt_duration"]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def mbit_per_s(mbit: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return mbit * 1e6 / 8.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``12m 03s``."""
+    seconds = float(seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f} s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m {secs:04.1f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h {int(minutes)}m {secs:04.1f}s"

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import SimulatedNode, WorkloadSegment
+from repro.network import NetworkFabric
+from repro.sim import RandomStreams, SimKernel
+
+
+@pytest.fixture
+def kernel() -> SimKernel:
+    return SimKernel()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(1234)
+
+
+@pytest.fixture
+def node(kernel) -> SimulatedNode:
+    """One booted node (no firmware installed: boots instantly)."""
+    n = SimulatedNode(kernel, "testnode", node_id=7)
+    n.power_on()
+    return n
+
+
+@pytest.fixture
+def loaded_node(kernel, node) -> SimulatedNode:
+    """A booted node with a long steady workload."""
+    node.workload.add(WorkloadSegment(start=0.0, duration=1e7, cpu=0.6,
+                                      memory=512 << 20, net_tx=1e6,
+                                      net_rx=2e6, disk_read=3e6,
+                                      disk_write=1e6))
+    kernel.run(until=10.0)
+    return node
+
+
+@pytest.fixture
+def fabric(kernel) -> NetworkFabric:
+    return NetworkFabric(kernel)
+
+
+def make_nodes(kernel, count, prefix="n", power=True, start_id=1):
+    nodes = []
+    for i in range(count):
+        n = SimulatedNode(kernel, f"{prefix}{i:03d}", node_id=start_id + i)
+        if power:
+            n.power_on()
+        nodes.append(n)
+    return nodes
+
+
+@pytest.fixture
+def make_node_set(kernel):
+    """Factory fixture: make_node_set(5) -> five booted nodes."""
+    def _make(count, **kw):
+        return make_nodes(kernel, count, **kw)
+    return _make

@@ -1,0 +1,98 @@
+"""Tests for sacct-style accounting and the efficiency report."""
+
+import math
+
+import pytest
+
+from repro.core import ClusterWorX
+from repro.slurm import (
+    BackfillScheduler,
+    Job,
+    JobState,
+    SlurmController,
+    efficiency_report,
+    sacct,
+)
+
+
+@pytest.fixture
+def managed():
+    """A monitored cluster with a SLURM controller on top."""
+    cwx = ClusterWorX(n_nodes=8, seed=91, monitor_interval=10.0)
+    cwx.start()
+    ctl = SlurmController(cwx.kernel, scheduler=BackfillScheduler())
+    for node in cwx.cluster.nodes:
+        ctl.register_node(node)
+    return cwx, ctl
+
+
+class TestSacct:
+    def test_records_after_completion(self, managed):
+        cwx, ctl = managed
+        job = ctl.submit(Job(name="acct", user="alice", n_nodes=2,
+                             time_limit=300, duration=120,
+                             cpu_per_node=0.9))
+        cwx.run(400)
+        (record,) = sacct(ctl)
+        assert record.name == "acct"
+        assert record.state == JobState.COMPLETED
+        assert record.run_seconds == pytest.approx(120.0)
+        assert record.node_seconds == pytest.approx(240.0)
+        assert record.requeues == 0
+
+    def test_user_filter(self, managed):
+        cwx, ctl = managed
+        ctl.submit(Job(name="a", user="alice", n_nodes=1, time_limit=60,
+                       duration=30))
+        ctl.submit(Job(name="b", user="bob", n_nodes=1, time_limit=60,
+                       duration=30))
+        cwx.run(100)
+        assert len(sacct(ctl)) == 2
+        assert len(sacct(ctl, users=["bob"])) == 1
+
+    def test_efficiency_from_monitoring(self, managed):
+        cwx, ctl = managed
+        busy = ctl.submit(Job(name="busy", user="u", n_nodes=2,
+                              time_limit=600, duration=400,
+                              cpu_per_node=0.9))
+        lazy = ctl.submit(Job(name="lazy", user="u", n_nodes=2,
+                              time_limit=600, duration=400,
+                              cpu_per_node=0.1))
+        cwx.run(800)
+        records = {r.name: r for r in
+                   sacct(ctl, history=cwx.server.history)}
+        assert records["busy"].cpu_efficiency > 0.7
+        assert records["lazy"].cpu_efficiency < 0.3
+
+    def test_efficiency_nan_without_history(self, managed):
+        cwx, ctl = managed
+        ctl.submit(Job(name="x", user="u", n_nodes=1, time_limit=60,
+                       duration=30))
+        cwx.run(100)
+        (record,) = sacct(ctl)  # no history passed
+        assert math.isnan(record.cpu_efficiency)
+
+
+class TestEfficiencyReport:
+    def test_flags_wasteful_jobs(self, managed):
+        cwx, ctl = managed
+        ctl.submit(Job(name="good", user="alice", n_nodes=2,
+                       time_limit=600, duration=400, cpu_per_node=0.95))
+        waster = ctl.submit(Job(name="idle-hog", user="bob", n_nodes=2,
+                                time_limit=600, duration=400,
+                                cpu_per_node=0.05))
+        cwx.run(800)
+        report = efficiency_report(ctl, cwx.server.history)
+        assert report["jobs"] == 2
+        wasteful_names = [name for _, name, _, _ in
+                          report["wasteful_jobs"]]
+        assert wasteful_names == ["idle-hog"]
+        assert report["per_user_efficiency"]["alice"] \
+            > report["per_user_efficiency"]["bob"]
+        assert 0.0 < report["weighted_cpu_efficiency"] < 1.0
+
+    def test_empty_history_safe(self, managed):
+        cwx, ctl = managed
+        report = efficiency_report(ctl, cwx.server.history)
+        assert report["jobs"] == 0
+        assert report["weighted_cpu_efficiency"] == 0.0

@@ -1,0 +1,255 @@
+"""Unit tests for auth, cluster topology, server, clients, and the facade."""
+
+import pytest
+
+from repro.core import AuthError, AuthManager, ClusterWorX, Role, connect
+from repro.core.cluster import Cluster
+from repro.core.server import ClusterWorXServer
+from repro.hardware import NodeState, WorkloadSegment
+from repro.sim import RandomStreams, SimKernel
+
+
+class TestAuth:
+    @pytest.fixture
+    def auth(self):
+        mgr = AuthManager()
+        mgr.add_user("alice", "s3cret", Role.ADMIN)
+        mgr.add_user("bob", "hunter2", Role.OBSERVER)
+        return mgr
+
+    def test_login_issues_token(self, auth):
+        token = auth.login("alice", "s3cret")
+        assert auth.username_for(token) == "alice"
+
+    def test_bad_password_rejected(self, auth):
+        with pytest.raises(AuthError):
+            auth.login("alice", "wrong")
+
+    def test_unknown_user_rejected(self, auth):
+        with pytest.raises(AuthError):
+            auth.login("mallory", "x")
+
+    def test_role_privileges(self, auth):
+        admin = auth.login("alice", "s3cret")
+        observer = auth.login("bob", "hunter2")
+        auth.check(admin, "configure")
+        auth.check(observer, "read")
+        with pytest.raises(AuthError):
+            auth.check(observer, "action")
+
+    def test_logout_invalidates_token(self, auth):
+        token = auth.login("alice", "s3cret")
+        auth.logout(token)
+        with pytest.raises(AuthError):
+            auth.username_for(token)
+
+    def test_tokens_unique_per_login(self, auth):
+        assert auth.login("alice", "s3cret") != auth.login("alice",
+                                                           "s3cret")
+
+    def test_unknown_role_rejected(self, auth):
+        with pytest.raises(ValueError):
+            auth.add_user("eve", "x", "superuser")
+
+
+class TestCluster:
+    def test_topology_one_icebox_per_ten_nodes(self, kernel):
+        cluster = Cluster(kernel, 25)
+        assert len(cluster.iceboxes) == 3
+        assert len(cluster.iceboxes[2].nodes) == 5
+
+    def test_locate_resolves_every_node(self, kernel):
+        cluster = Cluster(kernel, 12)
+        for node in cluster.nodes:
+            box, port = cluster.locate(node)
+            assert box.node_at(port) is node
+
+    def test_management_not_located(self, kernel):
+        cluster = Cluster(kernel, 3)
+        assert cluster.locate(cluster.management) is None
+
+    def test_node_lookup(self, kernel):
+        cluster = Cluster(kernel, 3, name="t")
+        assert cluster.node("t-n0001").node_id == 2
+        assert cluster.node("t-mgmt") is cluster.management
+        with pytest.raises(KeyError):
+            cluster.node("nope")
+
+    def test_boot_all_brings_everything_up(self, kernel):
+        cluster = Cluster(kernel, 8)
+        cluster.boot_all()
+        assert cluster.up_fraction() == 1.0
+        assert cluster.management.state is NodeState.UP
+
+    def test_sequenced_power_on(self, kernel):
+        cluster = Cluster(kernel, 12)
+        ev = cluster.power_on_all(sequenced=True, stagger=0.5)
+        kernel.run(ev)
+        kernel.run()
+        assert cluster.up_fraction() == 1.0
+
+    def test_legacy_firmware_option(self, kernel):
+        cluster = Cluster(kernel, 2, firmware="legacy")
+        cluster.boot_all()
+        # legacy boots take much longer than LinuxBIOS
+        assert kernel.now > 40
+
+    def test_invalid_arguments(self, kernel):
+        with pytest.raises(ValueError):
+            Cluster(kernel, 0)
+        with pytest.raises(ValueError):
+            Cluster(kernel, 1, firmware="uefi")
+
+    def test_nodes_in_state(self, kernel):
+        cluster = Cluster(kernel, 4)
+        cluster.boot_all()
+        cluster.nodes[0].crash("x")
+        assert len(cluster.nodes_in_state(NodeState.CRASHED)) == 1
+        assert len(cluster.nodes_in_state(NodeState.UP)) == 3
+
+
+@pytest.fixture
+def cwx():
+    system = ClusterWorX(n_nodes=10, seed=3, monitor_interval=5.0)
+    system.start()
+    return system
+
+
+class TestServer:
+    def test_receives_agent_updates(self, cwx):
+        cwx.run(20)
+        host = cwx.cluster.hostnames[0]
+        view = cwx.server.current(host)
+        assert view["hostname"] == host
+        assert "cpu_util_pct" in view
+
+    def test_history_accumulates(self, cwx):
+        cwx.run(60)
+        host = cwx.cluster.hostnames[0]
+        t, v = cwx.server.history.series(host, "cpu_temp_c")
+        assert len(t) >= 1
+
+    def test_sweep_marks_dead_node_unreachable(self, cwx):
+        cwx.run(20)
+        host = cwx.cluster.hostnames[2]
+        cwx.cluster.node(host).crash("dead")
+        cwx.run(30)
+        assert cwx.server.current(host)["udp_echo"] == 0
+        assert cwx.server.current(host)["node_state"] == "crashed"
+
+    def test_stale_nodes_detection(self, cwx):
+        cwx.run(20)
+        host = cwx.cluster.hostnames[1]
+        cwx.cluster.node(host).crash("dead")
+        cwx.run(120)
+        assert host in cwx.server.stale_nodes(max_age=60.0)
+
+    def test_power_commands_route_through_icebox(self, cwx):
+        host = cwx.cluster.hostnames[0]
+        assert cwx.server.power(host, "off").startswith("OK")
+        assert cwx.cluster.node(host).state is NodeState.OFF
+        assert cwx.server.power(host, "on").startswith("OK")
+        assert cwx.server.power(host, "warp").startswith("ERR")
+
+    def test_console_tail_for_postmortem(self, cwx):
+        host = cwx.cluster.hostnames[3]
+        cwx.cluster.node(host).crash("MCE: machine check")
+        lines = cwx.server.console_tail(host, 5)
+        assert any("machine check" in l for l in lines)
+
+    def test_clone_updates_audit(self, cwx):
+        report = cwx.clone("compute-harddisk")
+        assert len(report.cloned) == 10
+        audit = cwx.server.images.audit(cwx.cluster.nodes)
+        assert audit.is_consistent
+        assert len(audit.consistent) == 10
+
+
+class TestClientSessions:
+    def test_admin_full_access(self, cwx):
+        cwx.run(10)
+        session = cwx.client()
+        view = session.cluster_view()
+        assert len(view) >= 10
+        assert session.power(cwx.cluster.hostnames[0], "cycle") \
+            .startswith("OK")
+
+    def test_observer_read_only(self, cwx):
+        cwx.add_user("guest", "guest", Role.OBSERVER)
+        cwx.run(10)
+        session = cwx.client("guest", "guest")
+        session.node_view(cwx.cluster.hostnames[0])  # reads OK
+        with pytest.raises(AuthError):
+            session.power(cwx.cluster.hostnames[0], "off")
+        with pytest.raises(AuthError):
+            session.clone_image("compute-harddisk")
+
+    def test_multiple_concurrent_sessions(self, cwx):
+        cwx.run(10)
+        sessions = [cwx.client() for _ in range(5)]
+        views = [s.cluster_view() for s in sessions]
+        assert all(v == views[0] for v in views)
+
+    def test_closed_session_rejected(self, cwx):
+        session = cwx.client()
+        session.logout()
+        with pytest.raises(AuthError):
+            session.cluster_view()
+
+    def test_graph_api(self, cwx):
+        cwx.run(120)
+        session = cwx.client()
+        centers, mean, lo, hi = session.graph(
+            cwx.cluster.hostnames[0], "mem_used_bytes", buckets=5)
+        assert len(centers) == 5
+
+    def test_bad_login(self, cwx):
+        with pytest.raises(AuthError):
+            cwx.client("admin", "wrong")
+
+
+class TestFacadeScenarios:
+    def test_fan_failure_event_pipeline(self):
+        cwx = ClusterWorX(n_nodes=6, seed=1, monitor_interval=5.0)
+        cwx.start()
+        cwx.add_threshold("overheat", metric="cpu_temp_c", op=">",
+                          threshold=60.0, action="power_down",
+                          severity="critical")
+        victim = cwx.cluster.hostnames[2]
+        for node in cwx.cluster.nodes:
+            node.workload.add(WorkloadSegment(
+                start=cwx.kernel.now, duration=1e5, cpu=0.9))
+        cwx.run(30)
+        cwx.inject_fault(victim, "fan_failure")
+        cwx.run(1500)
+        # the node was powered down before burning
+        assert cwx.cluster.node(victim).state is NodeState.OFF
+        fired = cwx.fired_events()
+        assert any(e.rule == "overheat" and e.node == victim
+                   for e in fired)
+        assert any(victim in m.nodes for m in cwx.emails())
+        # healthy nodes untouched
+        others = [h for h in cwx.cluster.hostnames if h != victim]
+        assert all(cwx.cluster.node(h).state is NodeState.UP
+                   for h in others)
+
+    def test_memory_leak_detection(self):
+        cwx = ClusterWorX(n_nodes=4, seed=2, monitor_interval=10.0)
+        cwx.start()
+        cwx.add_threshold("mem-pressure", metric="mem_util_pct", op=">",
+                          threshold=90.0, action="none")
+        victim = cwx.cluster.hostnames[0]
+        cwx.inject_fault(victim, "memory_leak", rate=4 << 20)
+        cwx.run(600)
+        assert any(e.rule == "mem-pressure" for e in cwx.fired_events())
+
+    def test_deterministic_given_seed(self):
+        def run():
+            cwx = ClusterWorX(n_nodes=5, seed=9, monitor_interval=5.0)
+            cwx.start()
+            cwx.run(100)
+            host = cwx.cluster.hostnames[0]
+            t, v = cwx.server.history.series(host, "cpu_temp_c")
+            return list(t), list(v)
+
+        assert run() == run()

@@ -1,0 +1,111 @@
+"""Unit tests for the DHCP boot-configuration service and its firmware
+integration (§2: remote boot-option changes)."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.hardware import NodeState
+from repro.network.dhcp import BootOptions, DHCPServer
+
+
+class TestDHCPServer:
+    def test_reserved_mac_gets_fixed_ip(self):
+        server = DHCPServer()
+        server.reserve("00:50:45:00:00:01", "10.0.0.5")
+        lease = server.discover("00:50:45:00:00:01", "n1", t=0.0)
+        assert lease.ip == "10.0.0.5"
+
+    def test_unreserved_macs_get_distinct_ips(self):
+        server = DHCPServer()
+        a = server.discover("aa:aa:aa:aa:aa:aa", "a", t=0.0)
+        b = server.discover("bb:bb:bb:bb:bb:bb", "b", t=0.0)
+        assert a.ip != b.ip
+
+    def test_lease_renewal_keeps_ip(self):
+        server = DHCPServer()
+        first = server.discover("aa:aa:aa:aa:aa:aa", "a", t=0.0)
+        again = server.discover("aa:aa:aa:aa:aa:aa", "a", t=100.0)
+        assert first.ip == again.ip
+
+    def test_expired_lease_may_move(self):
+        server = DHCPServer(lease_time=10.0)
+        first = server.discover("aa:aa:aa:aa:aa:aa", "a", t=0.0)
+        assert not first.active(20.0)
+
+    def test_default_options_applied(self):
+        server = DHCPServer(defaults=BootOptions(boot_source="nfs"))
+        lease = server.discover("aa:aa:aa:aa:aa:aa", "a", t=0.0)
+        assert lease.options.boot_source == "nfs"
+
+    def test_per_mac_override_wins(self):
+        server = DHCPServer()
+        server.set_boot_options("aa:aa:aa:aa:aa:aa",
+                                BootOptions(boot_source="net"))
+        lease = server.discover("AA:AA:AA:AA:AA:AA", "a", t=0.0)
+        assert lease.options.boot_source == "net"  # case-insensitive
+
+    def test_clear_override_restores_default(self):
+        server = DHCPServer()
+        server.set_boot_options("aa:aa:aa:aa:aa:aa",
+                                BootOptions(boot_source="net"))
+        server.clear_boot_options("aa:aa:aa:aa:aa:aa")
+        assert server.boot_options_for(
+            "aa:aa:aa:aa:aa:aa").boot_source == "disk"
+
+    def test_release(self):
+        server = DHCPServer()
+        server.discover("aa:aa:aa:aa:aa:aa", "a", t=0.0)
+        assert server.active_lease_count == 1
+        server.release("aa:aa:aa:aa:aa:aa")
+        assert server.active_lease_count == 0
+
+
+class TestBootIntegration:
+    def test_cluster_nodes_lease_reserved_ips(self, kernel):
+        cluster = Cluster(kernel, 3)
+        cluster.boot_all()
+        for node in cluster.nodes:
+            lease = cluster.dhcp.lease_for(node.mac)
+            assert lease is not None and lease.ip == node.ip
+
+    def test_remote_boot_source_change_applies_on_reboot(self, kernel):
+        cluster = Cluster(kernel, 2)
+        cluster.boot_all()
+        node = cluster.nodes[0]
+        cluster.set_boot_source(node, "net")
+        before = cluster.fabric.total_bytes("netboot")
+        node.reset()
+        kernel.run()
+        assert node.state is NodeState.UP
+        assert cluster.fabric.total_bytes("netboot") > before
+
+    def test_other_nodes_unaffected(self, kernel):
+        cluster = Cluster(kernel, 2)
+        cluster.boot_all()
+        cluster.set_boot_source(cluster.nodes[0], "net")
+        cluster.nodes[1].reset()
+        kernel.run()
+        assert cluster.fabric.total_bytes("netboot") == 0
+
+    def test_invalid_source_rejected(self, kernel):
+        cluster = Cluster(kernel, 1)
+        with pytest.raises(ValueError):
+            cluster.set_boot_source(cluster.nodes[0], "floppy")
+
+    def test_dhcp_line_on_serial_console(self, kernel):
+        cluster = Cluster(kernel, 1)
+        cluster.boot_all()
+        node = cluster.nodes[0]
+        box, port = cluster.locate(node)
+        node.reset()
+        kernel.run()
+        assert "DHCP lease" in box.console(port).capture()
+
+    def test_legacy_bios_ignores_dhcp(self, kernel):
+        cluster = Cluster(kernel, 1, firmware="legacy")
+        cluster.set_boot_source(cluster.nodes[0], "net")
+        cluster.boot_all()
+        # Legacy BIOS cannot netboot: it booted from disk regardless.
+        assert cluster.nodes[0].state is NodeState.UP
+        assert cluster.fabric.total_bytes("netboot") == 0
+        assert cluster.dhcp.offers_made == 0

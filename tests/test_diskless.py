@@ -1,0 +1,136 @@
+"""Tests for diskless nodes (§2: "no disk, no floppy, no graphics
+adapter, and no file system ... much less autonomous, easier to
+maintain")."""
+
+import pytest
+
+from repro.firmware import (
+    BootEnvironment,
+    BootSettings,
+    LinuxBIOS,
+    install_firmware,
+)
+from repro.hardware import NodeState, SimulatedNode, WorkloadSegment
+from repro.imaging import DiskImage, ImageManager, MulticastCloner
+from repro.monitoring import MonitorContext, NodeAgent, builtin_registry
+from repro.network import NetworkFabric
+from repro.procfs import ProcFilesystem
+from repro.sim import RandomStreams
+
+
+@pytest.fixture
+def diskless_cluster(kernel):
+    """A boot server plus two diskless NFS-root nodes."""
+    fabric = NetworkFabric(kernel)
+    server = SimulatedNode(kernel, "srv", node_id=99)
+    server.power_on()
+    fabric.attach(server)
+    env = BootEnvironment(fabric=fabric, boot_server=server)
+    nodes = []
+    for i in range(2):
+        node = SimulatedNode(kernel, f"dl{i}", node_id=i + 1,
+                             diskless=True)
+        install_firmware(node, LinuxBIOS(
+            settings=BootSettings(boot_source="nfs"), env=env))
+        fabric.attach(node)
+        nodes.append(node)
+    return fabric, server, nodes
+
+
+class TestDisklessBoot:
+    def test_nfs_boot_succeeds(self, kernel, diskless_cluster):
+        _, _, nodes = diskless_cluster
+        for node in nodes:
+            node.power_on()
+        kernel.run()
+        assert all(n.state is NodeState.UP for n in nodes)
+
+    def test_disk_boot_fails_loudly(self, kernel):
+        node = SimulatedNode(kernel, "dl", node_id=1, diskless=True)
+        install_firmware(node, LinuxBIOS())  # default: disk boot
+        lines = []
+        node.console_sink = lines.append
+        node.power_on()
+        kernel.run()
+        assert node.state is NodeState.CRASHED
+        assert any("no boot device" in l for l in lines)
+
+    def test_disk_property_none(self, kernel):
+        node = SimulatedNode(kernel, "dl", node_id=1, diskless=True)
+        assert node.disk is None and node.disks == []
+
+
+class TestDisklessProcfs:
+    @pytest.fixture
+    def node(self, kernel, diskless_cluster):
+        _, _, nodes = diskless_cluster
+        nodes[0].power_on()
+        kernel.run()
+        nodes[0].workload.add(WorkloadSegment(
+            start=kernel.now, duration=1e5, cpu=0.5, memory=256 << 20))
+        kernel.run(until=kernel.now + 10)
+        return nodes[0]
+
+    def test_all_proc_files_readable(self, node):
+        fs = ProcFilesystem(node)
+        for path in fs.DEFAULT_FILES:
+            assert fs.read_text(path), path
+
+    def test_partitions_empty(self, node):
+        fs = ProcFilesystem(node)
+        text = fs.read_text("/proc/partitions")
+        assert "hda" not in text
+
+    def test_swaps_header_only(self, node):
+        fs = ProcFilesystem(node)
+        assert len(fs.read_text("/proc/swaps").splitlines()) == 1
+
+    def test_mounts_nfs_root(self, node):
+        fs = ProcFilesystem(node)
+        assert "nfs" in fs.read_text("/proc/mounts")
+
+    def test_no_swap_used_even_under_pressure(self, node):
+        node.workload.add(WorkloadSegment(
+            start=node.kernel.now, duration=100, memory=4 << 30))
+        assert node.memory.swap_used(node.kernel.now + 1) == 0
+
+
+class TestDisklessMonitoring:
+    def test_monitors_evaluate_cleanly(self, kernel, diskless_cluster):
+        _, _, nodes = diskless_cluster
+        nodes[0].power_on()
+        kernel.run()
+        registry = builtin_registry()
+        values = registry.evaluate_all(
+            MonitorContext(node=nodes[0], t=kernel.now))
+        assert values["disk_total_bytes"] == 0
+        assert values["disk_image"] == "none"
+        assert values["cpu_util_pct"] >= 0
+
+    def test_agent_runs(self, kernel, diskless_cluster):
+        _, _, nodes = diskless_cluster
+        nodes[0].power_on()
+        kernel.run()
+        agent = NodeAgent(kernel, nodes[0], builtin_registry())
+        delta = agent.sample_once()
+        assert delta["hostname"] == "dl0"
+        assert not agent.errors
+
+
+class TestDisklessCloning:
+    def test_clone_skips_diskless_targets(self, kernel, diskless_cluster,
+                                          streams):
+        fabric, server, nodes = diskless_cluster
+        disky = SimulatedNode(kernel, "disky", node_id=50)
+        install_firmware(disky, LinuxBIOS())
+        fabric.attach(disky)
+        for node in nodes + [disky]:
+            node.power_on()
+        kernel.run()
+        image = DiskImage(name="i", generation=1, size=128 << 20)
+        cloner = MulticastCloner(kernel, fabric, server,
+                                 rng=streams("c"))
+        report = kernel.run(cloner.clone(nodes + [disky], image))
+        assert report.cloned == ["disky"]
+        # diskless nodes were not broken by the attempt
+        assert all(n.state is NodeState.UP for n in nodes)

@@ -1,0 +1,209 @@
+"""Unit tests for LinuxBIOS / legacy BIOS boot models and remote flash."""
+
+import pytest
+
+from repro.firmware import (
+    FLASH_WRITE_TIME,
+    BootEnvironment,
+    BootSettings,
+    FlashManager,
+    LegacyBIOS,
+    LinuxBIOS,
+    OS_BOOT_TIME,
+    WALKUP_TIME,
+    install_firmware,
+)
+from repro.hardware import NodeState, SimulatedNode
+from repro.network import MYRINET, NetworkFabric
+
+
+def boot_node(kernel, firmware, node_id=1, hostname="fw"):
+    node = SimulatedNode(kernel, hostname, node_id=node_id)
+    install_firmware(node, firmware)
+    node.power_on()
+    kernel.run()
+    return node
+
+
+class TestBootTimes:
+    def test_linuxbios_firmware_time_about_3s(self, kernel):
+        node = boot_node(kernel, LinuxBIOS())
+        fw_time = node.boot_completed_at - OS_BOOT_TIME
+        assert 2.0 <= fw_time <= 4.0  # "about 3 seconds"
+
+    def test_legacy_bios_30_to_60s(self, kernel):
+        # per-node spread: check a population
+        times = []
+        for i in range(10):
+            k2 = type(kernel)()
+            node = boot_node(k2, LegacyBIOS(), node_id=i * 37 + 1)
+            times.append(node.boot_completed_at - OS_BOOT_TIME)
+        assert all(25.0 <= t <= 60.0 for t in times)
+        assert max(times) - min(times) > 5.0  # real spread
+
+    def test_linuxbios_at_least_10x_faster(self, kernel):
+        lnx = boot_node(kernel, LinuxBIOS(), node_id=1, hostname="a")
+        k2 = type(kernel)()
+        legacy = boot_node(k2, LegacyBIOS(), node_id=2, hostname="b")
+        fw_lnx = lnx.boot_completed_at - OS_BOOT_TIME
+        fw_legacy = legacy.boot_completed_at - OS_BOOT_TIME
+        assert fw_legacy / fw_lnx > 10
+
+
+class TestSerialBehaviour:
+    def test_linuxbios_emits_serial_from_poweron(self, kernel):
+        node = SimulatedNode(kernel, "s", node_id=1)
+        install_firmware(node, LinuxBIOS())
+        lines = []
+        node.console_sink = lines.append
+        node.power_on()
+        kernel.run(until=0.5)  # before even hardware init finishes
+        assert any("LinuxBIOS booting" in l for l in lines)
+
+    def test_legacy_bios_silent_before_kernel(self, kernel):
+        node = SimulatedNode(kernel, "s", node_id=1)
+        install_firmware(node, LegacyBIOS())
+        lines = []
+        node.console_sink = lines.append
+        node.power_on()
+        kernel.run(until=20)  # deep in POST
+        assert lines == []
+        kernel.run()
+        assert any("Linux version" in l for l in lines)  # kernel speaks
+
+    def test_memory_error_reported_on_serial_and_halts(self, kernel):
+        node = SimulatedNode(kernel, "bad", node_id=1)
+        node.bad_dimm = True
+        install_firmware(node, LinuxBIOS())
+        lines = []
+        node.console_sink = lines.append
+        node.power_on()
+        kernel.run()
+        assert node.state is NodeState.CRASHED
+        assert any("memory test failed" in l for l in lines)
+
+
+class TestBootPaths:
+    def test_netboot_over_fabric(self, kernel):
+        fabric = NetworkFabric(kernel)
+        server = SimulatedNode(kernel, "srv", node_id=99)
+        server.power_on()
+        fabric.attach(server)
+        env = BootEnvironment(fabric=fabric, boot_server=server)
+        node = SimulatedNode(kernel, "nb", node_id=1)
+        fabric.attach(node)
+        install_firmware(node, LinuxBIOS(
+            settings=BootSettings(boot_source="net"), env=env))
+        node.power_on()
+        kernel.run()
+        assert node.state is NodeState.UP
+        assert fabric.total_bytes("netboot") > 0
+
+    def test_netboot_over_interconnect_profile(self, kernel):
+        node = SimulatedNode(kernel, "myri", node_id=1)
+        install_firmware(node, LinuxBIOS(
+            settings=BootSettings(boot_source="net",
+                                  interconnect=MYRINET)))
+        node.power_on()
+        kernel.run()
+        assert node.state is NodeState.UP
+
+    def test_netboot_without_infrastructure_fails(self, kernel):
+        node = SimulatedNode(kernel, "lost", node_id=1)
+        install_firmware(node, LinuxBIOS(
+            settings=BootSettings(boot_source="net")))
+        node.power_on()
+        with pytest.raises(RuntimeError, match="netboot"):
+            kernel.run()
+
+    def test_power_off_mid_boot_aborts(self, kernel):
+        node = SimulatedNode(kernel, "ab", node_id=1)
+        install_firmware(node, LegacyBIOS())
+        node.power_on()
+        kernel.run(until=10)  # mid-POST
+        node.power_off()
+        kernel.run()
+        assert node.state is NodeState.OFF
+        assert node.boot_completed_at is None
+
+
+class TestRemoteConfiguration:
+    def test_linuxbios_remote_configure(self, kernel):
+        fw = LinuxBIOS()
+        assert fw.remotely_configurable
+        fw.remote_configure(BootSettings(boot_source="nfs"))
+        assert fw.settings.boot_source == "nfs"
+
+    def test_legacy_needs_walkup(self, kernel):
+        fw = LegacyBIOS()
+        assert not fw.remotely_configurable
+        node = SimulatedNode(kernel, "w", node_id=1)
+        minutes = fw.local_configure(node, BootSettings())
+        assert minutes > 0
+
+
+class TestFlashManager:
+    def _cluster(self, kernel, n=4):
+        nodes = []
+        for i in range(n):
+            node = SimulatedNode(kernel, f"f{i}", node_id=i + 1)
+            install_firmware(node, LinuxBIOS(version="1.0.0"))
+            node.power_on()
+            nodes.append(node)
+        kernel.run()
+        return nodes
+
+    def test_parallel_flash_takes_one_write_time(self, kernel):
+        nodes = self._cluster(kernel)
+        mgr = FlashManager(kernel)
+        t0 = kernel.now
+        kernel.run(mgr.flash_remote(nodes, "1.1.0"))
+        assert kernel.now - t0 == pytest.approx(FLASH_WRITE_TIME)
+        assert set(mgr.staged) == {n.hostname for n in nodes}
+
+    def test_staged_version_applies_on_reboot(self, kernel):
+        nodes = self._cluster(kernel, n=1)
+        mgr = FlashManager(kernel)
+        kernel.run(mgr.flash_remote(nodes, "2.0.0"))
+        node = nodes[0]
+        assert node.firmware.version == "1.0.0"  # not yet active
+        assert mgr.activate_on_reboot(node)
+        assert node.firmware.version == "2.0.0"
+        assert not mgr.activate_on_reboot(node)  # consumed
+
+    def test_down_node_skipped(self, kernel):
+        nodes = self._cluster(kernel)
+        nodes[1].crash("down")
+        mgr = FlashManager(kernel)
+        kernel.run(mgr.flash_remote(nodes, "3.0"))
+        assert nodes[1].hostname not in mgr.staged
+        assert any("SKIP: node down" in entry[2]
+                   for entry in mgr.flash_log)
+
+    def test_legacy_bios_not_flashable(self, kernel):
+        node = SimulatedNode(kernel, "leg", node_id=1)
+        install_firmware(node, LegacyBIOS())
+        node.power_on()
+        kernel.run()
+        mgr = FlashManager(kernel)
+        kernel.run(mgr.flash_remote([node], "9"))
+        assert not mgr.staged
+        assert any("not LinuxBIOS" in entry[2] for entry in mgr.flash_log)
+
+    def test_configure_remote_only_reaches_linuxbios(self, kernel):
+        lnx = SimulatedNode(kernel, "l", node_id=1)
+        install_firmware(lnx, LinuxBIOS())
+        leg = SimulatedNode(kernel, "g", node_id=2)
+        install_firmware(leg, LegacyBIOS())
+        mgr = FlashManager(kernel)
+        accepted = mgr.configure_remote([lnx, leg],
+                                        BootSettings(boot_source="nfs"))
+        assert accepted == ["l"]
+
+    def test_walkup_cost_scales_linearly(self, kernel):
+        nodes = []
+        for i in range(5):
+            node = SimulatedNode(kernel, f"w{i}", node_id=i + 1)
+            install_firmware(node, LegacyBIOS())
+            nodes.append(node)
+        assert FlashManager.walkup_cost(nodes) == 5 * WALKUP_TIME

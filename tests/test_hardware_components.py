@@ -1,0 +1,203 @@
+"""Unit tests for CPU, memory, disk, NIC, PSU component models."""
+
+import pytest
+
+from repro.hardware import SimulatedNode, WorkloadSegment
+from repro.hardware.cpu import USER_HZ
+
+
+class TestCPU:
+    def test_idle_node_zero_utilization(self, node, kernel):
+        kernel.run(until=10)
+        assert node.cpu.utilization(10) == 0.0
+
+    def test_utilization_follows_workload(self, loaded_node):
+        assert loaded_node.cpu.utilization(5.0) == pytest.approx(0.6)
+
+    def test_utilization_clamped_at_capacity(self, node, kernel):
+        node.workload.add(WorkloadSegment(start=0, duration=100, cpu=3.0))
+        assert node.cpu.utilization(50) == 1.0
+
+    def test_powered_off_node_idle(self, kernel):
+        n = SimulatedNode(kernel, "off", node_id=1)
+        assert n.cpu.utilization(0.0) == 0.0
+
+    def test_jiffies_integrate_busy_time(self, node, kernel):
+        node.workload.add(WorkloadSegment(start=0, duration=100, cpu=0.5))
+        kernel.run(until=100)
+        j = node.cpu.jiffies(100.0)
+        busy = j["user"] + j["system"]
+        assert busy == pytest.approx(0.5 * 100 * USER_HZ, rel=0.02)
+        assert j["idle"] == pytest.approx(0.5 * 100 * USER_HZ, rel=0.02)
+
+    def test_jiffies_monotone(self, loaded_node):
+        j1 = loaded_node.cpu.jiffies(50.0)
+        j2 = loaded_node.cpu.jiffies(80.0)
+        for key in j1:
+            assert j2[key] >= j1[key]
+
+    def test_jiffies_clamp_oversubscription(self, node, kernel):
+        node.workload.add(WorkloadSegment(start=0, duration=10, cpu=5.0))
+        j = node.cpu.jiffies(10.0)
+        total = j["user"] + j["system"] + j["idle"]
+        assert total <= 10 * USER_HZ + 1
+        assert j["idle"] <= 1  # fully busy
+
+    def test_overhead_accounting(self, node):
+        node.cpu.set_overhead("monitoring", 0.02)
+        node.cpu.set_overhead("other", 0.01)
+        assert node.cpu.overhead == pytest.approx(0.03)
+        node.cpu.set_overhead("other", 0.0)
+        assert node.cpu.overhead == pytest.approx(0.02)
+
+    def test_loadavg_tracks_demand(self, node, kernel):
+        node.workload.add(WorkloadSegment(start=0, duration=1000, cpu=0.8))
+        kernel.run(until=120)
+        assert node.cpu.loadavg(120) == pytest.approx(0.8, abs=0.05)
+
+
+class TestMemory:
+    def test_baseline_when_idle(self, node):
+        assert node.memory.used(1.0) == node.memory.BASELINE
+
+    def test_workload_adds_resident_set(self, loaded_node):
+        expected = loaded_node.memory.BASELINE + (512 << 20)
+        assert loaded_node.memory.used(5.0) == expected
+
+    def test_used_clamped_to_total(self, node):
+        node.workload.add(WorkloadSegment(start=0, duration=10,
+                                          memory=8 << 30))
+        assert node.memory.used(5.0) == node.memory.spec.total
+
+    def test_overflow_goes_to_swap(self, node):
+        node.workload.add(WorkloadSegment(start=0, duration=10,
+                                          memory=int(1.5 * (1 << 30))))
+        assert node.memory.swap_used(5.0) > 0
+
+    def test_leak_grows_linearly(self, node):
+        node.memory.inject_leak(start=0.0, rate=1 << 20)
+        used_10 = node.memory.used(10.0)
+        used_20 = node.memory.used(20.0)
+        assert used_20 - used_10 == pytest.approx(10 << 20, rel=0.01)
+
+    def test_leak_cap(self, node):
+        node.memory.inject_leak(start=0.0, rate=1 << 30, cap=1 << 20)
+        assert node.memory.used(100.0) <= (node.memory.BASELINE
+                                           + (1 << 20))
+
+    def test_clear_leaks(self, node):
+        node.memory.inject_leak(start=0.0, rate=1 << 20)
+        node.memory.clear_leaks()
+        assert node.memory.used(100.0) == node.memory.BASELINE
+
+    def test_invalid_leak_rate(self, node):
+        with pytest.raises(ValueError):
+            node.memory.inject_leak(start=0.0, rate=0)
+
+    def test_free_plus_used_is_total(self, loaded_node):
+        t = 5.0
+        assert (loaded_node.memory.used(t) + loaded_node.memory.free(t)
+                == loaded_node.memory.spec.total)
+
+
+class TestDisk:
+    def test_write_time(self, node):
+        assert node.disk.write_time(25e6) == pytest.approx(1.0)
+
+    def test_write_time_negative_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.disk.write_time(-1)
+
+    def test_install_image(self, node):
+        node.disk.install_image("img", 3, "abc123", 1 << 30)
+        assert node.disk.installed_image == ("img", 3, "abc123")
+        assert node.disk.used == 1 << 30
+
+    def test_install_oversized_image_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.disk.install_image("img", 1, "x", node.disk.spec.capacity + 1)
+
+    def test_wipe(self, node):
+        node.disk.install_image("img", 1, "x", 1024)
+        node.disk.wipe()
+        assert node.disk.installed_image is None and node.disk.used == 0
+
+    def test_io_counters_integrate(self, loaded_node):
+        r = loaded_node.disk.read_bytes(100.0)
+        assert r == pytest.approx(3e6 * 100, rel=0.01)
+        w = loaded_node.disk.write_bytes(100.0)
+        assert w == pytest.approx(1e6 * 100, rel=0.01)
+
+    def test_utilization(self, loaded_node):
+        util = loaded_node.disk.utilization(50.0)
+        expected = 3e6 / 35e6 + 1e6 / 25e6
+        assert util == pytest.approx(expected, rel=0.01)
+
+
+class TestNIC:
+    def test_counters_from_workload(self, loaded_node):
+        assert loaded_node.nic.tx_bytes(100.0) == pytest.approx(1e6 * 100,
+                                                                rel=0.01)
+        assert loaded_node.nic.rx_bytes(100.0) == pytest.approx(2e6 * 100,
+                                                                rel=0.01)
+
+    def test_fabric_credit_adds(self, node):
+        node.nic.credit_rx(5000)
+        assert node.nic.rx_bytes(0.0) >= 5000
+
+    def test_degrade_and_repair(self, node):
+        node.nic.degrade(0.5)
+        assert node.nic.effective_rate == pytest.approx(
+            node.nic.spec.rate * 0.5)
+        node.nic.repair()
+        assert node.nic.effective_rate == node.nic.spec.rate
+
+    def test_degrade_validation(self, node):
+        with pytest.raises(ValueError):
+            node.nic.degrade(0.0)
+        with pytest.raises(ValueError):
+            node.nic.degrade(1.5)
+
+    def test_error_counter(self, node):
+        node.nic.record_error(7)
+        assert node.nic.errors == 7
+
+    def test_utilization_fraction(self, loaded_node):
+        util = loaded_node.nic.utilization(50.0)
+        assert util == pytest.approx(3e6 / 12.5e6, rel=0.01)
+
+
+class TestPSU:
+    def test_off_draws_nothing(self, kernel):
+        n = SimulatedNode(kernel, "x", node_id=1)
+        assert n.psu.draw(0.0) == 0.0
+
+    def test_steady_draw_scales_with_load(self, node, kernel):
+        node.workload.add(WorkloadSegment(start=0, duration=100, cpu=1.0))
+        kernel.run(until=50)
+        idle = node.psu.spec.idle_watts
+        maxw = node.psu.spec.max_watts
+        assert node.psu.steady_draw(50.0) == pytest.approx(maxw)
+        node.workload.truncate_tagged("", at=50.0)
+        assert node.psu.steady_draw(60.0) == pytest.approx(idle)
+
+    def test_inrush_transient_decays(self, node):
+        # node powered on at t=0
+        early = node.psu.draw(0.01)
+        late = node.psu.draw(5.0)
+        assert early > node.psu.spec.max_watts  # transient above rating
+        assert late < node.psu.spec.max_watts
+
+    def test_failed_psu_probe_reads_zero(self, node):
+        node.psu.fail()
+        assert node.psu.probe_voltage(1.0) == 0.0
+        assert not node.psu.is_on
+
+    def test_degrade_validation(self, node):
+        with pytest.raises(ValueError):
+            node.psu.degrade(0.0)
+
+    def test_degraded_probe_voltage_drops(self, node):
+        healthy = node.psu.probe_voltage(1.0)
+        node.psu.degrade(0.3)
+        assert node.psu.probe_voltage(1.0) < healthy

@@ -1,0 +1,171 @@
+"""Unit tests for the node state machine and fault injection."""
+
+import pytest
+
+from repro.hardware import (
+    FaultInjector,
+    FaultKind,
+    NodeState,
+    SimulatedNode,
+    WorkloadSegment,
+)
+from repro.sim import RandomStreams
+
+
+class TestStateMachine:
+    def test_initial_state_off(self, kernel):
+        assert SimulatedNode(kernel, "n", node_id=1).state is NodeState.OFF
+
+    def test_power_on_without_firmware_boots_instantly(self, kernel):
+        n = SimulatedNode(kernel, "n", node_id=1)
+        n.power_on()
+        assert n.state is NodeState.UP
+        assert n.boot_completed_at == 0.0
+
+    def test_double_power_on_noop(self, node):
+        state_changes = []
+        node.state_listeners.append(
+            lambda n, o, s: state_changes.append(s))
+        node.power_on()
+        assert state_changes == []
+
+    def test_power_off_resets_everything(self, node, kernel):
+        kernel.run(until=10)
+        node.power_off()
+        assert node.state is NodeState.OFF
+        assert node.boot_completed_at is None
+        assert not node.is_running()
+        assert node.uptime(20.0) == 0.0
+
+    def test_reset_reboots(self, node, kernel):
+        kernel.run(until=10)
+        node.reset()
+        assert node.state is NodeState.UP
+        assert node.boot_completed_at == 10.0
+
+    def test_reset_while_off_is_noop(self, kernel):
+        n = SimulatedNode(kernel, "n", node_id=1)
+        n.reset()
+        assert n.state is NodeState.OFF
+
+    def test_halt(self, node):
+        node.halt()
+        assert node.state is NodeState.HALTED
+        assert node.powered and not node.is_running()
+
+    def test_crash_records_reason_and_console(self, node):
+        lines = []
+        node.console_sink = lines.append
+        node.crash("Oops: 0000")
+        assert node.state is NodeState.CRASHED
+        assert node.crash_reason == "Oops: 0000"
+        assert any("Kernel panic" in l for l in lines)
+
+    def test_crash_when_off_ignored(self, kernel):
+        n = SimulatedNode(kernel, "n", node_id=1)
+        n.crash("ghost")
+        assert n.state is NodeState.OFF
+        assert n.crash_reason is None
+
+    def test_hang_only_from_up(self, node):
+        node.hang()
+        assert node.state is NodeState.HUNG
+        assert node.is_running()  # hardware alive, software deaf
+        node.power_off()
+        node.hang()
+        assert node.state is NodeState.OFF
+
+    def test_uptime_tracks_boot(self, node, kernel):
+        kernel.run(until=100)
+        assert node.uptime(100.0) == pytest.approx(100.0)
+        node.reset()
+        assert node.uptime(130.0) == pytest.approx(30.0)
+
+    def test_state_listener_fired_with_transition(self, node):
+        seen = []
+        node.state_listeners.append(lambda n, o, s: seen.append((o, s)))
+        node.crash("x")
+        assert seen == [(NodeState.UP, NodeState.CRASHED)]
+
+    def test_wait_state_immediate_when_already_there(self, node, kernel):
+        ev = node.wait_state(NodeState.UP)
+        assert ev.triggered
+
+    def test_wait_state_fires_on_transition(self, node, kernel):
+        ev = node.wait_state(NodeState.CRASHED)
+
+        def killer():
+            yield kernel.timeout(5.0)
+            node.crash("test")
+
+        kernel.process(killer())
+        got = kernel.run(ev)
+        assert got is NodeState.CRASHED
+        assert kernel.now == 5.0
+
+
+class TestFaultInjector:
+    @pytest.fixture
+    def injector(self, kernel):
+        return FaultInjector(kernel, rng=RandomStreams(3)("faults"))
+
+    def test_inject_now_fan(self, injector, node):
+        record = injector.inject_now(node, FaultKind.FAN_FAILURE)
+        assert node.thermal.fan.failed
+        assert record.kind == FaultKind.FAN_FAILURE
+        assert injector.records == [record]
+
+    def test_inject_now_panic(self, injector, node):
+        injector.inject_now(node, FaultKind.KERNEL_PANIC, reason="bad page")
+        assert node.state is NodeState.CRASHED
+        assert "bad page" in node.crash_reason
+
+    def test_inject_psu_failure_crashes(self, injector, node):
+        injector.inject_now(node, FaultKind.PSU_FAILURE)
+        assert node.psu.failed and node.state is NodeState.CRASHED
+
+    def test_inject_memory_leak(self, injector, node, kernel):
+        injector.inject_now(node, FaultKind.MEMORY_LEAK, rate=1 << 20)
+        kernel.run(until=100)
+        assert node.memory.used(100.0) > node.memory.BASELINE
+
+    def test_inject_nic_degraded(self, injector, node):
+        injector.inject_now(node, FaultKind.NIC_DEGRADED, factor=0.1)
+        assert node.nic.health == pytest.approx(0.1)
+        assert node.nic.errors > 0
+
+    def test_inject_os_hang(self, injector, node):
+        injector.inject_now(node, FaultKind.OS_HANG)
+        assert node.state is NodeState.HUNG
+
+    def test_unknown_kind_rejected(self, injector, node):
+        with pytest.raises(ValueError):
+            injector.inject_now(node, "gremlins")
+
+    def test_schedule_fires_at_time(self, injector, node, kernel):
+        injector.schedule(node, FaultKind.KERNEL_PANIC, at=42.0)
+        kernel.run(until=41.9)
+        assert node.state is NodeState.UP
+        kernel.run(until=43)
+        assert node.state is NodeState.CRASHED
+        assert injector.records[0].time == pytest.approx(42.0)
+
+    def test_schedule_in_past_rejected(self, injector, node, kernel):
+        kernel.run(until=10)
+        with pytest.raises(ValueError):
+            injector.schedule(node, FaultKind.OS_HANG, at=5.0)
+
+    def test_exponential_plan_deterministic(self, kernel, make_node_set):
+        nodes = make_node_set(20)
+        inj1 = FaultInjector(kernel, rng=RandomStreams(11)("f"))
+        count1 = inj1.schedule_exponential(
+            nodes, FaultKind.FAN_FAILURE, mtbf=1000.0, horizon=500.0)
+        inj2 = FaultInjector(kernel, rng=RandomStreams(11)("f"))
+        count2 = inj2.schedule_exponential(
+            nodes, FaultKind.FAN_FAILURE, mtbf=1000.0, horizon=500.0)
+        assert count1 == count2
+
+    def test_exponential_requires_rng(self, kernel, node):
+        inj = FaultInjector(kernel)
+        with pytest.raises(RuntimeError):
+            inj.schedule_exponential([node], FaultKind.OS_HANG, 10, 10)

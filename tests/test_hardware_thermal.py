@@ -1,0 +1,135 @@
+"""Unit tests for the analytic thermal model."""
+
+import math
+
+import pytest
+
+from repro.hardware import SimulatedNode, ThermalSpec, WorkloadSegment
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self, node):
+        assert node.thermal.temperature(0.0) == pytest.approx(
+            node.thermal.spec.ambient)
+
+    def test_idle_stays_at_ambient(self, node, kernel):
+        kernel.run(until=1000)
+        assert node.thermal.temperature(1000.0) == pytest.approx(
+            node.thermal.spec.ambient, abs=0.1)
+
+    def test_approaches_equilibrium_under_load(self, node, kernel):
+        node.workload.add(WorkloadSegment(start=0, duration=1e5, cpu=1.0))
+        kernel.run(until=2000)
+        spec = node.thermal.spec
+        expected = spec.ambient + spec.k_load
+        assert node.thermal.temperature(2000.0) == pytest.approx(
+            expected, abs=0.2)
+
+    def test_exponential_approach_shape(self, node):
+        node.workload.add(WorkloadSegment(start=0, duration=1e5, cpu=1.0))
+        spec = node.thermal.spec
+        t_tau = node.thermal.temperature(spec.tau)
+        # After one time constant: ~63.2% of the way to equilibrium.
+        frac = (t_tau - spec.ambient) / spec.k_load
+        assert frac == pytest.approx(1 - math.exp(-1), abs=0.02)
+
+    def test_cooldown_after_load_ends(self, node):
+        node.workload.add(WorkloadSegment(start=0, duration=100, cpu=1.0))
+        hot = node.thermal.temperature(100.0)
+        cooler = node.thermal.temperature(400.0)
+        assert cooler < hot
+        assert node.thermal.temperature(2000.0) == pytest.approx(
+            node.thermal.spec.ambient, abs=0.3)
+
+    def test_fan_failure_raises_equilibrium(self, node, kernel):
+        node.workload.add(WorkloadSegment(start=0, duration=1e6, cpu=0.5))
+        kernel.run(until=100)
+        before_eq = node.thermal.equilibrium(100.0)
+        node.thermal.fan_failure(100.0)
+        after_eq = node.thermal.equilibrium(100.0)
+        assert after_eq == pytest.approx(
+            before_eq + node.thermal.spec.fan_fail_penalty)
+
+    def test_fan_repair_restores(self, node, kernel):
+        node.thermal.fan_failure(0.0)
+        node.thermal.fan_repair(10.0)
+        assert not node.thermal.fan.failed
+        assert node.thermal.equilibrium(10.0) == pytest.approx(
+            node.thermal.spec.ambient)
+
+    def test_time_to_reach_solves_crossing(self, node):
+        node.workload.add(WorkloadSegment(start=0, duration=1e6, cpu=1.0))
+        node.thermal.fan_failure(0.0)
+        eta = node.thermal.time_to_reach(60.0, 0.0)
+        assert eta is not None and eta > 0
+        # Verify: the model really is at ~60 degC after eta seconds.
+        assert node.thermal.temperature(eta) == pytest.approx(60.0,
+                                                              abs=0.2)
+
+    def test_time_to_reach_unreachable(self, node):
+        # idle, fan OK: equilibrium is ambient -> 95 degC never reached
+        assert node.thermal.time_to_reach(95.0, 0.0) is None
+
+    def test_time_to_reach_already_there(self, node):
+        node.thermal.set_temperature(0.0, 99.0)
+        assert node.thermal.time_to_reach(95.0, 0.0) == 0.0
+
+    def test_backward_query_rejected_after_rebase(self, node):
+        node.thermal.rebase(50.0)
+        with pytest.raises(ValueError):
+            node.thermal.temperature(49.0)
+
+    def test_fan_rpm_zero_when_failed(self, node):
+        assert node.thermal.fan.rpm(0.5) > 0
+        node.thermal.fan.fail()
+        assert node.thermal.fan.rpm(0.5) == 0.0
+
+    def test_piecewise_load_integration(self, node):
+        # Step load: 1.0 for 200 s then 0; temperature at 400 s must be
+        # below the peak but above ambient.
+        node.workload.add(WorkloadSegment(start=0, duration=200, cpu=1.0))
+        peak = node.thermal.temperature(200.0)
+        later = node.thermal.temperature(400.0)
+        ambient = node.thermal.spec.ambient
+        assert ambient < later < peak
+
+
+class TestBurnScenario:
+    def test_loaded_node_with_dead_fan_burns(self, kernel):
+        n = SimulatedNode(kernel, "burner", node_id=1)
+        n.power_on()
+        n.workload.add(WorkloadSegment(start=0, duration=1e6, cpu=0.9))
+        kernel.run(until=50)
+        n.fan_failure()
+        kernel.run(until=5000)
+        assert n.state.value == "burned"
+        assert "thermal runaway" in (n.crash_reason or "")
+
+    def test_idle_node_with_dead_fan_survives(self, kernel):
+        n = SimulatedNode(kernel, "idler", node_id=2)
+        n.power_on()
+        kernel.run(until=50)
+        n.fan_failure()
+        kernel.run(until=5000)
+        assert n.state.value == "up"
+
+    def test_power_off_prevents_burn(self, kernel):
+        n = SimulatedNode(kernel, "saved", node_id=3)
+        n.power_on()
+        n.workload.add(WorkloadSegment(start=0, duration=1e6, cpu=0.9))
+        kernel.run(until=50)
+        n.fan_failure()
+        kernel.run(until=100)  # intervene before the crossing
+        n.power_off()
+        kernel.run(until=5000)
+        assert n.state.value == "off"
+
+    def test_burned_node_refuses_power(self, kernel):
+        n = SimulatedNode(kernel, "dead", node_id=4)
+        n.power_on()
+        n.workload.add(WorkloadSegment(start=0, duration=1e6, cpu=1.0))
+        n.fan_failure()
+        kernel.run(until=5000)
+        assert n.state.value == "burned"
+        n.power_on()
+        assert n.state.value == "burned"

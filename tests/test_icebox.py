@@ -1,0 +1,233 @@
+"""Unit tests for the ICE Box: power, probes, serial console, command set."""
+
+import pytest
+
+from repro.hardware import NodeState, SimulatedNode, WorkloadSegment
+from repro.icebox import (
+    INLET_RATING_AMPS,
+    IceBox,
+    PowerController,
+    peak_inrush,
+)
+
+
+@pytest.fixture
+def box(kernel, make_node_set):
+    b = IceBox(kernel, "ice0")
+    nodes = make_node_set(10, power=False)
+    for i, n in enumerate(nodes):
+        b.connect_node(i, n)
+    return b, nodes
+
+
+class TestPowerController:
+    def test_ten_node_and_two_aux_outlets(self, kernel):
+        pc = PowerController(kernel)
+        assert len(pc.node_outlets) == 10
+        assert len(pc.aux_outlets) == 2
+
+    def test_inlet_split_five_five(self, kernel):
+        pc = PowerController(kernel)
+        assert sum(1 for o in pc.node_outlets if o.inlet == 0) == 5
+        assert sum(1 for o in pc.node_outlets if o.inlet == 1) == 5
+        assert {a.inlet for a in pc.aux_outlets} == {0, 1}
+
+    def test_power_on_boots_node(self, box, kernel):
+        b, nodes = box
+        b.power.power_on(3)
+        assert nodes[3].state is NodeState.UP
+
+    def test_power_off_kills_node(self, box, kernel):
+        b, nodes = box
+        b.power.power_on(3)
+        b.power.power_off(3)
+        assert nodes[3].state is NodeState.OFF
+
+    def test_power_cycle(self, box, kernel):
+        b, nodes = box
+        b.power.power_on(2)
+        ev = b.power.power_cycle(2, off_time=2.0)
+        assert nodes[2].state is NodeState.OFF or True  # async
+        kernel.run(ev)
+        assert nodes[2].state is NodeState.UP
+
+    def test_outlet_out_of_range(self, kernel):
+        pc = PowerController(kernel)
+        with pytest.raises(IndexError):
+            pc.outlet(10)
+
+    def test_aux_outlets_always_draw(self, kernel):
+        pc = PowerController(kernel)
+        assert pc.inlet_draw(0, 0.0) > 0  # the aux load
+
+    def test_sequenced_power_on_staggered(self, box, kernel):
+        b, nodes = box
+        on_times = {}
+        for n in nodes:
+            n.state_listeners.append(
+                lambda node, o, s, : on_times.setdefault(
+                    node.hostname, kernel.now)
+                if s is NodeState.BOOTING else None)
+        ev = b.power.sequenced_power_on(stagger=1.5)
+        kernel.run(ev)
+        times = sorted(on_times.values())
+        assert len(times) == 10
+        deltas = [b - a for a, b in zip(times[:-1], times[1:])]
+        assert all(d == pytest.approx(1.5) for d in deltas)
+
+    def test_inrush_sequencing_beats_simultaneous(self, kernel,
+                                                  make_node_set):
+        sim_nodes = make_node_set(10, power=False, prefix="a")
+        seq_nodes = make_node_set(10, power=False, prefix="b",
+                                  start_id=100)
+        box_a = IceBox(kernel, "a")
+        box_b = IceBox(kernel, "b")
+        for i in range(10):
+            box_a.connect_node(i, sim_nodes[i])
+            box_b.connect_node(i, seq_nodes[i])
+        box_a.power.simultaneous_power_on()
+        peak_sim, _ = peak_inrush(sim_nodes, kernel.now, kernel.now + 2,
+                                  resolution=0.005)
+        ev = box_b.power.sequenced_power_on(stagger=1.0)
+        t0 = kernel.now
+        kernel.run(ev)
+        peak_seq, _ = peak_inrush(seq_nodes, t0, kernel.now + 2,
+                                  resolution=0.005)
+        assert peak_seq < peak_sim / 3
+        # the paper's motivation: simultaneous trips a 15 A inlet circuit
+        assert peak_sim / 2 > INLET_RATING_AMPS  # per-inlet (5 nodes each)
+
+
+class TestProbesAndConsole:
+    def test_temperature_probe_reads_thermal_model(self, box, kernel):
+        b, nodes = box
+        b.power.power_on(0)
+        nodes[0].workload.add(WorkloadSegment(start=kernel.now,
+                                              duration=1e5, cpu=1.0))
+        kernel.run(until=500)
+        probe = b.temperature_probe(0)
+        assert probe.cpu_temperature(500) > 40
+        assert probe.board_temperature(500) < probe.cpu_temperature(500)
+
+    def test_probe_works_on_crashed_node(self, box, kernel):
+        b, nodes = box
+        b.power.power_on(0)
+        nodes[0].crash("dead")
+        # out-of-band probe still reads
+        assert b.temperature_probe(0).cpu_temperature(kernel.now) > 0
+
+    def test_power_probe_detects_failed_psu(self, box, kernel):
+        b, nodes = box
+        b.power.power_on(1)
+        probe = b.power_probe(1)
+        assert probe.supply_ok(kernel.now)
+        nodes[1].psu.fail()
+        assert not probe.supply_ok(kernel.now)
+
+    def test_reset_line_reboots(self, box, kernel):
+        b, nodes = box
+        b.power.power_on(4)
+        nodes[4].crash("panic")
+        assert b.reset_line(4).assert_reset()
+        assert nodes[4].state is NodeState.UP
+
+    def test_reset_line_fails_without_power(self, box):
+        b, nodes = box
+        assert not b.reset_line(5).assert_reset()
+
+    def test_console_captures_panic_for_postmortem(self, box, kernel):
+        b, nodes = box
+        b.power.power_on(6)
+        nodes[6].crash("NMI watchdog")
+        capture = b.console(6).capture()
+        assert "NMI watchdog" in capture
+        assert "Kernel panic" in capture
+
+    def test_console_buffer_bounded_16k(self, box):
+        b, nodes = box
+        port = b.console(7)
+        nodes[7].serial_write("x" * 40000)
+        assert len(port.buffer) == 16 * 1024
+
+    def test_console_subscriber_sees_live_output(self, box):
+        b, nodes = box
+        seen = []
+        b.console(8).subscribe(seen.append)
+        nodes[8].serial_write("hello serial")
+        assert seen == ["hello serial"]
+
+    def test_console_send_needs_running_node(self, box, kernel):
+        b, nodes = box
+        assert not b.console(9).send("ls\n")
+        b.power.power_on(9)
+        assert b.console(9).send("ls\n")
+
+    def test_double_attach_rejected(self, box, kernel, make_node_set):
+        b, _ = box
+        (extra,) = make_node_set(1, prefix="z", start_id=50, power=False)
+        with pytest.raises(RuntimeError):
+            b.ports[0].attach(extra)
+
+
+class TestCommandProcessor:
+    def test_version(self, box):
+        b, _ = box
+        assert b.execute("VERSION").startswith("OK: ICE Box")
+
+    def test_status_lists_all_ports(self, box):
+        b, _ = box
+        out = b.execute("STATUS")
+        assert out.startswith("OK:")
+        assert out.count(":off:") == 10
+
+    def test_power_on_all_and_single(self, box, kernel):
+        b, nodes = box
+        assert b.execute("POWER ON 3") == "OK: power on 1 outlet(s)"
+        assert nodes[3].state is NodeState.UP
+        assert "10 outlet" in b.execute("POWER ON ALL")
+
+    def test_power_status(self, box):
+        b, _ = box
+        assert b.execute("POWER STATUS 0") == "OK: off"
+        b.execute("POWER ON 0")
+        assert b.execute("POWER STATUS 0") == "OK: on"
+
+    def test_temp_fan_psu_commands(self, box, kernel):
+        b, _ = box
+        b.execute("POWER ON 2")
+        assert b.execute("TEMP 2").startswith("OK: cpu=")
+        assert "rpm" in b.execute("FAN 2")
+        assert "volts=" in b.execute("PSU 2")
+
+    def test_console_command_tails(self, box, kernel):
+        b, nodes = box
+        b.execute("POWER ON 1")
+        nodes[1].serial_write("line A\nline B\n")
+        out = b.execute("CONSOLE 1 1")
+        assert "line B" in out and "line A" not in out
+
+    def test_reset_command(self, box, kernel):
+        b, nodes = box
+        b.execute("POWER ON 5")
+        nodes[5].crash("x")
+        assert b.execute("RESET 5") == "OK: reset asserted"
+        assert nodes[5].state is NodeState.UP
+
+    def test_errors_are_err_not_exceptions(self, box):
+        b, _ = box
+        assert b.execute("").startswith("ERR:")
+        assert b.execute("FLY TO MOON").startswith("ERR:")
+        assert b.execute("POWER ON 42").startswith("ERR:")
+        assert b.execute("TEMP notaport").startswith("ERR:")
+
+    def test_port_without_node_rejected(self, kernel, make_node_set):
+        b = IceBox(kernel)
+        (n,) = make_node_set(1, power=False)
+        b.connect_node(0, n)
+        assert b.execute("TEMP 3").startswith("ERR:")
+
+    def test_duplicate_port_rejected(self, box, kernel, make_node_set):
+        b, _ = box
+        (extra,) = make_node_set(1, prefix="q", start_id=77, power=False)
+        with pytest.raises(ValueError):
+            b.connect_node(0, extra)

@@ -1,0 +1,216 @@
+"""Unit tests for SIMP/NIMP/telnet/ssh/SNMP access and IP filtering."""
+
+import pytest
+
+from repro.hardware import NodeState
+from repro.icebox import IceBox, IPFilter
+from repro.icebox.protocols import (
+    CONSOLE_PORT_BASE,
+    ENTERPRISE_OID,
+    NIMPServer,
+    ProtocolError,
+    SIMPServer,
+    SNMPAgent,
+    SSHServer,
+    TelnetServer,
+)
+
+
+@pytest.fixture
+def box(kernel, make_node_set):
+    b = IceBox(kernel, "ice0")
+    for i, n in enumerate(make_node_set(4, power=False)):
+        b.connect_node(i, n)
+    return b
+
+
+class TestIPFilter:
+    def test_default_allow(self):
+        assert IPFilter().permits("1.2.3.4")
+
+    def test_default_deny(self):
+        assert not IPFilter(default_allow=False).permits("1.2.3.4")
+
+    def test_first_match_wins(self):
+        f = IPFilter()
+        f.allow("10.0.0.0/8")
+        f.deny("10.0.0.0/8")
+        assert f.permits("10.1.2.3")
+
+    def test_cidr_prefix_matching(self):
+        f = IPFilter(default_allow=False)
+        f.allow("192.168.4.0/24")
+        assert f.permits("192.168.4.200")
+        assert not f.permits("192.168.5.1")
+
+    def test_host_rule(self):
+        f = IPFilter()
+        f.deny("10.0.0.5")
+        assert not f.permits("10.0.0.5")
+        assert f.permits("10.0.0.6")
+
+    def test_bad_cidr_rejected(self):
+        f = IPFilter()
+        with pytest.raises(ValueError):
+            f.allow("10.0.0/8")
+        with pytest.raises(ValueError):
+            f.allow("10.0.0.0/40")
+        with pytest.raises(ValueError):
+            f.allow("300.0.0.1")
+
+
+class TestSIMP:
+    def test_frame_roundtrip(self, box):
+        simp = SIMPServer(box)
+        out = simp.handle_frame("SIMP 12 VERSION\r\n")
+        assert out.startswith("SIMP 12 OK:")
+        assert out.endswith("\r\n")
+
+    def test_sequence_echoed(self, box):
+        simp = SIMPServer(box)
+        assert simp.handle_frame("SIMP 999 STATUS").split()[1] == "999"
+
+    def test_bad_frame_rejected(self, box):
+        simp = SIMPServer(box)
+        with pytest.raises(ProtocolError):
+            simp.handle_frame("HELLO 1 VERSION")
+        with pytest.raises(ProtocolError):
+            simp.handle_frame("SIMP abc VERSION")
+
+    def test_no_ip_filtering_on_serial(self, box):
+        # SIMP is physical serial: no filter applies by construction.
+        simp = SIMPServer(box)
+        assert not hasattr(simp, "ip_filter")
+
+
+class TestNIMP:
+    def test_request_roundtrip(self, box):
+        nimp = NIMPServer(box)
+        out = nimp.handle_request("10.0.0.9", "NIMP/1.0 POWER ON 0\n")
+        assert out == "NIMP/1.0 OK: power on 1 outlet(s)\n"
+        assert box.node_at(0).state is NodeState.UP
+
+    def test_ip_filter_enforced(self, box):
+        flt = IPFilter()
+        flt.deny("172.16.0.0/12")
+        nimp = NIMPServer(box, flt)
+        with pytest.raises(ProtocolError, match="filtered"):
+            nimp.handle_request("172.16.9.9", "NIMP/1.0 STATUS")
+
+    def test_version_mismatch_rejected(self, box):
+        nimp = NIMPServer(box)
+        with pytest.raises(ProtocolError):
+            nimp.handle_request("10.0.0.1", "NIMP/9.9 STATUS")
+
+
+class TestTelnet:
+    def test_login_then_command(self, box):
+        telnet = TelnetServer(box)
+        session = telnet.connect("10.0.0.2")
+        assert session.command("STATUS") == "ERR: login required"
+        assert session.login("admin", "icebox")
+        assert session.command("VERSION").startswith("OK:")
+
+    def test_bad_credentials(self, box):
+        session = TelnetServer(box).connect("10.0.0.2")
+        assert not session.login("admin", "wrong")
+
+    def test_console_port_mirrors_device(self, box, kernel):
+        telnet = TelnetServer(box)
+        session = telnet.connect("10.0.0.2", CONSOLE_PORT_BASE + 1)
+        session.login("admin", "icebox")
+        box.node_at(1).power_on()
+        box.node_at(1).serial_write("console says hi")
+        assert any("console says hi" in chunk for chunk in session.output)
+
+    def test_console_port_out_of_range(self, box):
+        with pytest.raises(ProtocolError):
+            TelnetServer(box).connect("10.0.0.2", CONSOLE_PORT_BASE + 99)
+
+    def test_closed_session_rejects(self, box):
+        session = TelnetServer(box).connect("10.0.0.2")
+        session.login("admin", "icebox")
+        session.close()
+        with pytest.raises(ProtocolError):
+            session.command("STATUS")
+
+
+class TestSSH:
+    def test_password_auth(self, box):
+        session = SSHServer(box).connect("10.0.0.3")
+        assert session.login("admin", "icebox")
+        assert session.protocol_version == 2
+
+    def test_v1_supported(self, box):
+        session = SSHServer(box).connect("10.0.0.3", protocol_version=1)
+        assert session.protocol_version == 1
+
+    def test_unsupported_version(self, box):
+        with pytest.raises(ProtocolError):
+            SSHServer(box).connect("10.0.0.3", protocol_version=3)
+
+    def test_key_auth(self, box):
+        server = SSHServer(box)
+        server.add_key("ops", "ssh-rsa AAAA-test-key")
+        session = server.connect("10.0.0.3")
+        assert not session.login_key("ops", "ssh-rsa wrong")
+        assert session.login_key("ops", "ssh-rsa AAAA-test-key")
+        assert session.command("VERSION").startswith("OK:")
+
+
+class TestSNMP:
+    def test_sysdescr(self, box):
+        agent = SNMPAgent(box)
+        value = agent.get("10.0.0.4", "public", f"{ENTERPRISE_OID}.1.0")
+        assert "ICE Box" in value
+
+    def test_outlet_state_get_set(self, box):
+        agent = SNMPAgent(box)
+        oid = f"{ENTERPRISE_OID}.2.0.1"
+        assert agent.get("10.0.0.4", "public", oid) == 2  # off
+        agent.set("10.0.0.4", "private", oid, 1)
+        assert agent.get("10.0.0.4", "public", oid) == 1  # on
+        assert box.node_at(0).state is NodeState.UP
+
+    def test_write_requires_private_community(self, box):
+        agent = SNMPAgent(box)
+        with pytest.raises(ProtocolError):
+            agent.set("10.0.0.4", "public",
+                      f"{ENTERPRISE_OID}.2.0.1", 1)
+
+    def test_bad_community_rejected(self, box):
+        agent = SNMPAgent(box)
+        with pytest.raises(ProtocolError):
+            agent.get("10.0.0.4", "guessme", f"{ENTERPRISE_OID}.1.0")
+
+    def test_temperature_centidegrees(self, box, kernel):
+        box.node_at(2).power_on()
+        agent = SNMPAgent(box)
+        temp = agent.get("10.0.0.4", "public", f"{ENTERPRISE_OID}.2.2.2")
+        assert temp == pytest.approx(2200, abs=300)  # ~22 degC
+
+    def test_read_only_columns_not_writable(self, box):
+        agent = SNMPAgent(box)
+        with pytest.raises(ProtocolError, match="not writable"):
+            agent.set("10.0.0.4", "private",
+                      f"{ENTERPRISE_OID}.2.0.2", 5)
+
+    def test_walk_covers_connected_ports(self, box):
+        agent = SNMPAgent(box)
+        rows = agent.walk("10.0.0.4", "public")
+        # sysDescr + 5 columns x 4 connected nodes
+        assert len(rows) == 1 + 5 * 4
+
+    def test_foreign_oid_rejected(self, box):
+        agent = SNMPAgent(box)
+        with pytest.raises(ProtocolError):
+            agent.get("10.0.0.4", "public", "1.3.6.1.2.1.1.1.0")
+
+    def test_ip_filter_applies(self, box):
+        flt = IPFilter(default_allow=False)
+        flt.allow("10.1.0.0/16")
+        agent = SNMPAgent(box, flt)
+        with pytest.raises(ProtocolError):
+            agent.get("10.2.0.1", "public", f"{ENTERPRISE_OID}.1.0")
+        assert agent.get("10.1.0.1", "public",
+                         f"{ENTERPRISE_OID}.1.0")

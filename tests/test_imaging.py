@@ -1,0 +1,226 @@
+"""Unit tests for images, the image manager, and both cloning protocols."""
+
+import pytest
+
+from repro.firmware import LinuxBIOS, install_firmware
+from repro.hardware import NodeState, SimulatedNode
+from repro.imaging import (
+    DiskImage,
+    ImageBuilder,
+    ImageManager,
+    MulticastCloner,
+    ParallelUnicastCloner,
+    PREBUILT_IMAGES,
+    SequentialUnicastCloner,
+)
+from repro.network import NetworkFabric
+from repro.sim import RandomStreams
+
+
+class TestDiskImage:
+    def test_blocks_ceil_division(self):
+        img = DiskImage(name="x", generation=1, size=1000, block_size=300)
+        assert img.n_blocks == 4
+
+    def test_checksum_stable_and_distinct(self):
+        a = DiskImage(name="x", generation=1, size=1000)
+        b = DiskImage(name="x", generation=1, size=1000)
+        c = DiskImage(name="x", generation=2, size=1000)
+        assert a.checksum == b.checksum
+        assert a.checksum != c.checksum
+
+    def test_with_packages_bumps_generation_and_size(self):
+        a = DiskImage(name="x", generation=1, size=1 << 30)
+        b = a.with_packages("lapack")
+        assert b.generation == 2
+        assert b.size > a.size
+        assert "lapack" in b.packages
+
+    def test_with_kernel(self):
+        a = DiskImage(name="x", generation=1, size=1 << 30)
+        b = a.with_kernel("2.4.20")
+        assert b.kernel_version == "2.4.20" and b.generation == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskImage(name="x", generation=1, size=0)
+        with pytest.raises(ValueError):
+            DiskImage(name="x", generation=1, size=10, boot_mode="cdrom")
+
+    def test_builder(self):
+        img = (ImageBuilder("custom").add_packages("a", "b")
+               .set_kernel("2.4.19").build())
+        assert img.size == ImageBuilder.BASE_SIZE \
+            + 2 * ImageBuilder.PACKAGE_SIZE
+        assert img.kernel_version == "2.4.19"
+
+    def test_prebuilt_images_exist(self):
+        assert "compute-harddisk" in PREBUILT_IMAGES
+        assert PREBUILT_IMAGES["compute-nfs"].boot_mode == "nfs"
+
+
+class TestImageManager:
+    def test_prebuilt_loaded(self):
+        mgr = ImageManager()
+        assert mgr.get("compute-harddisk").name == "compute-harddisk"
+
+    def test_unknown_image(self):
+        with pytest.raises(KeyError):
+            ImageManager().get("nope")
+
+    def test_build_bumps_generation(self):
+        mgr = ImageManager(include_prebuilt=False)
+        a = mgr.build("img", packages=["x"])
+        b = mgr.build("img", packages=["x", "y"])
+        assert (a.generation, b.generation) == (1, 2)
+
+    def test_add_requires_newer_generation(self):
+        mgr = ImageManager(include_prebuilt=False)
+        mgr.add(DiskImage(name="i", generation=2, size=100))
+        with pytest.raises(ValueError):
+            mgr.add(DiskImage(name="i", generation=2, size=100))
+
+    def test_update_packages_and_kernel(self):
+        mgr = ImageManager()
+        g0 = mgr.get("compute-harddisk").generation
+        mgr.update_packages("compute-harddisk", "gromacs")
+        mgr.update_kernel("compute-harddisk", "2.4.21")
+        img = mgr.get("compute-harddisk")
+        assert img.generation == g0 + 2
+        assert "gromacs" in img.packages
+
+    def test_audit_classifies(self, kernel, make_node_set):
+        mgr = ImageManager()
+        img = mgr.get("compute-harddisk")
+        nodes = make_node_set(4)
+        mgr.assign(nodes[:3], "compute-harddisk")
+        # node0 consistent, node1 stale, node2 bare, node3 unassigned
+        nodes[0].disk.install_image(img.name, img.generation,
+                                    img.checksum, img.size)
+        nodes[1].disk.install_image(img.name, img.generation - 1,
+                                    "oldsum", img.size)
+        report = mgr.audit(nodes)
+        assert report.consistent == [nodes[0].hostname]
+        assert report.stale == [nodes[1].hostname]
+        assert report.wrong == [nodes[2].hostname]
+        assert report.unassigned == [nodes[3].hostname]
+        assert not report.is_consistent
+
+
+def _clone_cluster(kernel, n, streams):
+    fabric = NetworkFabric(kernel)
+    master = SimulatedNode(kernel, "mgmt", node_id=500)
+    master.power_on()
+    fabric.attach(master)
+    nodes = []
+    for i in range(n):
+        node = SimulatedNode(kernel, f"c{i:03d}", node_id=i + 1)
+        install_firmware(node, LinuxBIOS())
+        fabric.attach(node)
+        node.power_on()
+        nodes.append(node)
+    kernel.run()
+    return fabric, master, nodes
+
+
+SMALL_IMAGE = DiskImage(name="small", generation=1, size=256 << 20)
+
+
+class TestMulticastCloner:
+    def test_all_nodes_cloned_and_rebooted(self, kernel, streams):
+        fabric, master, nodes = _clone_cluster(kernel, 8, streams)
+        cloner = MulticastCloner(kernel, fabric, master,
+                                 rng=streams("clone"))
+        report = kernel.run(cloner.clone(nodes, SMALL_IMAGE))
+        assert sorted(report.cloned) == sorted(n.hostname for n in nodes)
+        assert all(n.state is NodeState.UP for n in nodes)
+        for n in nodes:
+            name, gen, checksum = n.disk.installed_image
+            assert (name, gen, checksum) == ("small", 1,
+                                             SMALL_IMAGE.checksum)
+
+    def test_down_node_skipped(self, kernel, streams):
+        fabric, master, nodes = _clone_cluster(kernel, 4, streams)
+        nodes[2].power_off()
+        cloner = MulticastCloner(kernel, fabric, master,
+                                 rng=streams("clone"))
+        report = kernel.run(cloner.clone(nodes, SMALL_IMAGE))
+        assert nodes[2].hostname in report.skipped
+        assert len(report.cloned) == 3
+        assert nodes[2].disk.installed_image is None
+
+    def test_stream_time_independent_of_node_count(self, streams):
+        from repro.sim import SimKernel
+        durations = {}
+        for n in (4, 32):
+            k = SimKernel()
+            fabric, master, nodes = _clone_cluster(k, n, streams)
+            cloner = MulticastCloner(k, fabric, master,
+                                     rng=RandomStreams(5)("c"),
+                                     loss_rate=0.0)
+            report = k.run(cloner.clone(nodes, SMALL_IMAGE,
+                                        reboot=False))
+            durations[n] = report.stream_seconds
+        assert durations[32] == pytest.approx(durations[4], rel=0.05)
+
+    def test_losses_repaired(self, kernel, streams):
+        fabric, master, nodes = _clone_cluster(kernel, 6, streams)
+        cloner = MulticastCloner(kernel, fabric, master,
+                                 rng=streams("clone"), loss_rate=0.05)
+        report = kernel.run(cloner.clone(nodes, SMALL_IMAGE))
+        assert report.repair_bytes > 0
+        assert len(report.cloned) == 6  # losses did not prevent cloning
+
+    def test_no_reboot_option(self, kernel, streams):
+        fabric, master, nodes = _clone_cluster(kernel, 3, streams)
+        boot_time_before = [n.boot_completed_at for n in nodes]
+        cloner = MulticastCloner(kernel, fabric, master,
+                                 rng=streams("clone"))
+        kernel.run(cloner.clone(nodes, SMALL_IMAGE, reboot=False))
+        assert [n.boot_completed_at for n in nodes] == boot_time_before
+
+    def test_efficiency_validation(self, kernel, streams):
+        fabric, master, _ = _clone_cluster(kernel, 1, streams)
+        with pytest.raises(ValueError):
+            MulticastCloner(kernel, fabric, master,
+                            rng=streams("c"), protocol_efficiency=0.0)
+
+    def test_empty_target_list(self, kernel, streams):
+        fabric, master, _ = _clone_cluster(kernel, 1, streams)
+        cloner = MulticastCloner(kernel, fabric, master,
+                                 rng=streams("clone"))
+        report = kernel.run(cloner.clone([], SMALL_IMAGE))
+        assert report.cloned == [] and report.total_seconds == 0.0
+
+
+class TestUnicastBaselines:
+    def test_sequential_scales_linearly(self, streams):
+        from repro.sim import SimKernel
+        totals = {}
+        for n in (2, 8):
+            k = SimKernel()
+            fabric, master, nodes = _clone_cluster(k, n, streams)
+            cloner = SequentialUnicastCloner(k, fabric, master)
+            report = k.run(cloner.clone(nodes, SMALL_IMAGE,
+                                        reboot=False))
+            totals[n] = report.total_seconds
+        assert totals[8] / totals[2] == pytest.approx(4.0, rel=0.15)
+
+    def test_parallel_unicast_completes_all(self, kernel, streams):
+        fabric, master, nodes = _clone_cluster(kernel, 5, streams)
+        cloner = ParallelUnicastCloner(kernel, fabric, master)
+        report = kernel.run(cloner.clone(nodes, SMALL_IMAGE))
+        assert len(report.cloned) == 5
+        assert all(n.state is NodeState.UP for n in nodes)
+
+    def test_multicast_beats_unicast(self, streams):
+        from repro.sim import SimKernel
+        k1 = SimKernel()
+        fabric, master, nodes = _clone_cluster(k1, 10, streams)
+        mc = MulticastCloner(k1, fabric, master, rng=streams("c"))
+        mc_report = k1.run(mc.clone(nodes, SMALL_IMAGE, reboot=False))
+        k2 = SimKernel()
+        fabric2, master2, nodes2 = _clone_cluster(k2, 10, streams)
+        uc = SequentialUnicastCloner(k2, fabric2, master2)
+        uc_report = k2.run(uc.clone(nodes2, SMALL_IMAGE, reboot=False))
+        assert mc_report.total_seconds < uc_report.total_seconds / 2

@@ -1,0 +1,186 @@
+"""Integration tests: full-stack scenarios crossing many subsystems."""
+
+import pytest
+
+from repro.core import ClusterWorX, Role
+from repro.hardware import NodeState, WorkloadSegment
+from repro.slurm import BackfillScheduler, Job, JobState, SlurmController
+
+
+class TestMonitoringPipelineEndToEnd:
+    def test_agent_to_server_to_client(self):
+        cwx = ClusterWorX(n_nodes=8, seed=4, monitor_interval=5.0)
+        cwx.start()
+        host = cwx.cluster.hostnames[0]
+        cwx.cluster.node(host).workload.add(WorkloadSegment(
+            start=cwx.kernel.now, duration=1e4, cpu=0.75,
+            memory=700 << 20))
+        cwx.run(120)
+        view = cwx.client().node_view(host)
+        assert view["cpu_util_pct"] == pytest.approx(75.0, abs=2.0)
+        assert view["mem_used_bytes"] > 700 << 20
+        # history recorded the load level
+        t, v = cwx.server.history.series(host, "cpu_util_pct")
+        assert len(v) >= 1 and v[-1] == pytest.approx(75.0, abs=2.0)
+
+    def test_monitoring_traffic_is_tiny_vs_link(self):
+        cwx = ClusterWorX(n_nodes=10, seed=5, monitor_interval=5.0)
+        cwx.start()
+        cwx.run(300)
+        monitoring_bytes = cwx.cluster.fabric.total_bytes("monitoring")
+        link_capacity_bytes = 12.5e6 * 300
+        assert monitoring_bytes > 0
+        assert monitoring_bytes / link_capacity_bytes < 0.01
+
+    def test_consolidation_suppresses_on_idle_cluster(self):
+        cwx = ClusterWorX(n_nodes=5, seed=6, monitor_interval=5.0)
+        cwx.start()
+        cwx.run(600)
+        for agent in cwx.agents.values():
+            assert agent.consolidator.suppression_ratio > 0.5
+
+
+class TestCloneThenMonitor:
+    def test_clone_visible_in_monitoring(self):
+        cwx = ClusterWorX(n_nodes=6, seed=7, monitor_interval=5.0)
+        cwx.start()
+        report = cwx.clone("compute-nfs")
+        assert len(report.cloned) == 6
+        cwx.run(30)
+        view = cwx.client().cluster_view()
+        for host in cwx.cluster.hostnames:
+            assert view[host]["disk_image"] == "compute-nfs"
+
+    def test_reclone_after_image_update(self):
+        cwx = ClusterWorX(n_nodes=4, seed=8)
+        cwx.start()
+        cwx.clone("compute-harddisk")
+        gen1 = cwx.server.images.get("compute-harddisk").generation
+        cwx.server.images.update_kernel("compute-harddisk", "2.4.21")
+        audit = cwx.server.images.audit(cwx.cluster.nodes)
+        assert len(audit.stale) == 4  # everyone is behind now
+        cwx.clone("compute-harddisk")
+        audit = cwx.server.images.audit(cwx.cluster.nodes)
+        assert audit.is_consistent
+
+
+class TestEventCascades:
+    def test_rack_overheat_drill(self):
+        """Several nodes overheat; the engine powers each down; one email."""
+        cwx = ClusterWorX(n_nodes=10, seed=9, monitor_interval=5.0)
+        cwx.start()
+        cwx.add_threshold("overheat", metric="cpu_temp_c", op=">",
+                          threshold=60.0, action="power_down",
+                          severity="critical")
+        victims = cwx.cluster.hostnames[:4]
+        for host in cwx.cluster.hostnames:
+            cwx.cluster.node(host).workload.add(WorkloadSegment(
+                start=cwx.kernel.now, duration=1e5, cpu=0.9))
+        cwx.run(30)
+        for host in victims:
+            cwx.inject_fault(host, "fan_failure")
+        cwx.run(2000)
+        for host in victims:
+            assert cwx.cluster.node(host).state is NodeState.OFF
+        overheat_mails = [m for m in cwx.emails()
+                          if m.event == "overheat"]
+        assert len(overheat_mails) == 1
+        assert sorted(overheat_mails[0].nodes) == sorted(victims)
+
+    def test_crash_detected_by_sweep_and_console_preserved(self):
+        cwx = ClusterWorX(n_nodes=5, seed=10, monitor_interval=5.0)
+        cwx.start()
+        cwx.add_threshold("node-down", metric="udp_echo", op="==",
+                          threshold=0, action="none")
+        victim = cwx.cluster.hostnames[2]
+        cwx.run(30)
+        cwx.inject_fault(victim, "kernel_panic", reason="EIP at 0xdead")
+        cwx.run(60)
+        assert any(e.rule == "node-down" and e.node == victim
+                   for e in cwx.fired_events())
+        # post-mortem: panic text retrievable through the ICE Box console
+        tail = "\n".join(cwx.client().console_tail(victim, 10))
+        assert "EIP at 0xdead" in tail
+
+    def test_hung_node_distinguished_from_crashed(self):
+        cwx = ClusterWorX(n_nodes=4, seed=11, monitor_interval=5.0)
+        cwx.start()
+        cwx.run(20)
+        hung = cwx.cluster.hostnames[0]
+        cwx.inject_fault(hung, "os_hang")
+        cwx.run(30)
+        view = cwx.client().node_view(hung)
+        assert view["udp_echo"] == 0
+        assert view["node_state"] == "hung"
+        # reset via ICE Box recovers it
+        cwx.client().power(hung, "reset")
+        cwx.run(60)
+        assert cwx.cluster.node(hung).state is NodeState.UP
+
+
+class TestSlurmOnManagedCluster:
+    def _build(self, n_nodes=8, seed=12):
+        cwx = ClusterWorX(n_nodes=n_nodes, seed=seed,
+                          monitor_interval=10.0)
+        cwx.start()
+        ctl = SlurmController(cwx.kernel, scheduler=BackfillScheduler(),
+                              host=cwx.cluster.management)
+        for node in cwx.cluster.nodes:
+            ctl.register_node(node)
+        return cwx, ctl
+
+    def test_job_load_appears_in_monitoring(self):
+        cwx, ctl = self._build()
+        job = ctl.submit(Job(name="mpi", user="sci", n_nodes=4,
+                             time_limit=600, duration=300,
+                             cpu_per_node=0.95))
+        cwx.run(120)
+        view = cwx.client().cluster_view()
+        busy = [h for h in cwx.cluster.hostnames
+                if view[h].get("cpu_util_pct", 0) > 90]
+        assert sorted(busy) == sorted(job.allocated)
+
+    def test_event_action_kills_job_slurm_notices(self):
+        cwx, ctl = self._build()
+        cwx.add_threshold("overheat", metric="cpu_temp_c", op=">",
+                          threshold=60.0, action="power_down",
+                          severity="critical")
+        job = ctl.submit(Job(name="hot", user="sci", n_nodes=2,
+                             time_limit=5000, duration=4000,
+                             cpu_per_node=1.0))
+        cwx.run(30)
+        victim = job.allocated[0]
+        cwx.inject_fault(victim, "fan_failure")
+        cwx.run(2500)
+        # event engine powered the node down; slurm failed the job
+        assert cwx.cluster.node(victim).state is NodeState.OFF
+        assert job.state == JobState.FAILED
+
+    def test_throughput_on_shared_cluster(self):
+        cwx, ctl = self._build(n_nodes=16, seed=13)
+        jobs = [ctl.submit(Job(name=f"j{i}", user="u", n_nodes=2,
+                               time_limit=120, duration=60))
+                for i in range(20)]
+        cwx.run(1200)
+        done = [j for j in jobs if j.state == JobState.COMPLETED]
+        assert len(done) == 20
+        stats = ctl.stats()
+        assert stats["jobs_completed"] == 20
+
+
+class TestScale:
+    def test_200_node_cluster_boots_and_monitors(self):
+        cwx = ClusterWorX(n_nodes=200, seed=14, monitor_interval=30.0)
+        cwx.start()
+        assert cwx.cluster.up_fraction() == 1.0
+        assert len(cwx.cluster.iceboxes) == 20
+        cwx.run(120)
+        view = cwx.client().cluster_view()
+        assert len(view) >= 200
+
+    def test_cloning_200_nodes_stays_minutes_scale(self):
+        cwx = ClusterWorX(n_nodes=200, seed=15, monitor_interval=60.0)
+        cwx.start()
+        report = cwx.clone("compute-harddisk")
+        assert len(report.cloned) == 200
+        assert report.total_seconds < 15 * 60  # the paper's ballpark

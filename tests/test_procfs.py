@@ -1,0 +1,148 @@
+"""Unit tests for the simulated /proc filesystem."""
+
+import pytest
+
+from repro.procfs import ProcError, ProcFilesystem
+
+
+@pytest.fixture
+def fs(loaded_node):
+    return ProcFilesystem(loaded_node)
+
+
+class TestFilesystemSemantics:
+    def test_read_text_returns_content(self, fs):
+        text = fs.read_text("/proc/meminfo")
+        assert "MemTotal:" in text and text.endswith("\n")
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(ProcError):
+            fs.open("/proc/nonexistent")
+
+    def test_every_read_regenerates(self, fs):
+        f = fs.open("/proc/uptime")
+        before = fs.stats["regenerations"]
+        f.read(1)
+        f.read(1)
+        f.read(1)
+        assert fs.stats["regenerations"] == before + 3
+        f.close()
+
+    def test_single_read_regenerates_once(self, fs):
+        before = fs.stats["regenerations"]
+        fs.read_text("/proc/meminfo")
+        assert fs.stats["regenerations"] == before + 1
+
+    def test_content_changes_with_time(self, loaded_node, fs):
+        a = fs.read_text("/proc/uptime")
+        loaded_node.kernel.run(until=50)
+        b = fs.read_text("/proc/uptime")
+        assert a != b
+
+    def test_seek_rewinds(self, fs):
+        f = fs.open("/proc/loadavg")
+        first = f.read()
+        f.seek(0)
+        again = f.read()
+        assert first == again
+        f.close()
+
+    def test_seek_nonzero_rejected(self, fs):
+        f = fs.open("/proc/loadavg")
+        with pytest.raises(ProcError):
+            f.seek(5)
+        f.close()
+
+    def test_read_at_eof_returns_empty(self, fs):
+        f = fs.open("/proc/uptime")
+        f.read()
+        assert f.read() == ""
+        f.close()
+
+    def test_readline_iterates_lines(self, fs):
+        f = fs.open("/proc/meminfo")
+        lines = []
+        while True:
+            line = f.readline()
+            if not line:
+                break
+            lines.append(line)
+        f.close()
+        assert len(lines) >= 15
+        assert all(l.endswith("\n") for l in lines)
+
+    def test_closed_file_rejects_operations(self, fs):
+        f = fs.open("/proc/stat")
+        f.close()
+        with pytest.raises(ProcError):
+            f.read()
+        with pytest.raises(ProcError):
+            f.seek(0)
+
+    def test_context_manager(self, fs):
+        with fs.open("/proc/stat") as f:
+            f.read()
+        assert f.closed
+
+    def test_register_custom_handler(self, fs, loaded_node):
+        fs.register("/proc/custom", lambda node, t: f"value {t:.0f}\n")
+        assert fs.read_text("/proc/custom") == "value 10\n"
+
+    def test_register_bad_path_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.register("/etc/passwd", lambda n, t: "")
+
+    def test_listdir(self, fs):
+        names = fs.listdir("/proc")
+        assert "meminfo" in names and "net" in names
+        assert fs.listdir("/proc/net") == ["dev"]
+
+    def test_exists(self, fs):
+        assert fs.exists("/proc/stat")
+        assert not fs.exists("/proc/nope")
+
+
+class TestHandlers:
+    def test_meminfo_totals_consistent(self, fs, loaded_node):
+        text = fs.read_text("/proc/meminfo")
+        lines = {l.split(":")[0]: l for l in text.splitlines() if ":" in l}
+        total_kb = int(lines["MemTotal"].split()[1])
+        free_kb = int(lines["MemFree"].split()[1])
+        assert total_kb * 1024 == loaded_node.memory.spec.total
+        assert 0 <= free_kb <= total_kb
+
+    def test_stat_has_intr_bulk(self, fs):
+        text = fs.read_text("/proc/stat")
+        intr_line = [l for l in text.splitlines()
+                     if l.startswith("intr")][0]
+        assert len(intr_line.split()) > 200  # NR_IRQS counters
+
+    def test_stat_cpu_line_first(self, fs):
+        assert fs.read_text("/proc/stat").startswith("cpu ")
+
+    def test_loadavg_format(self, fs):
+        fields = fs.read_text("/proc/loadavg").split()
+        assert len(fields) == 5
+        float(fields[0]), float(fields[1]), float(fields[2])
+        assert "/" in fields[3]
+
+    def test_uptime_reflects_boot_time(self, fs, loaded_node):
+        up, idle = map(float, fs.read_text("/proc/uptime").split())
+        assert up == pytest.approx(10.0)
+        assert 0 <= idle <= up
+
+    def test_net_dev_has_interfaces(self, fs):
+        text = fs.read_text("/proc/net/dev")
+        assert "lo:" in text and "eth0:" in text
+
+    def test_cpuinfo_static(self, fs):
+        text = fs.read_text("/proc/cpuinfo")
+        assert "Pentium III" in text
+        assert "cpu MHz" in text
+
+    def test_crashed_node_counters_freeze(self, fs, loaded_node):
+        kernel = loaded_node.kernel
+        kernel.run(until=20)
+        loaded_node.crash("test")
+        up, _ = map(float, fs.read_text("/proc/uptime").split())
+        assert up == 0.0  # OS is gone; /proc reads reflect dead node

@@ -1,0 +1,296 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import SimulatedNode, Workload, WorkloadSegment
+from repro.icebox.security import IPFilter
+from repro.monitoring import BinaryCodec, Consolidator, TextCodec
+from repro.monitoring.gathering import parse_apriori, parse_generic
+from repro.procfs import ProcFilesystem
+from repro.sim import SimKernel
+from repro.util import ByteRingBuffer, StreamingStats, TimeSeriesRing
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+segments = st.builds(
+    WorkloadSegment,
+    start=st.floats(0, 1000, allow_nan=False),
+    duration=st.floats(0.1, 500, allow_nan=False),
+    cpu=st.floats(0, 2, allow_nan=False),
+    memory=st.integers(0, 4 << 30),
+    net_tx=st.floats(0, 1e8, allow_nan=False),
+    net_rx=st.floats(0, 1e8, allow_nan=False),
+)
+
+metric_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                           whitelist_characters="_"),
+    min_size=1, max_size=24).filter(lambda s: not s[0].isdigit())
+
+metric_values = st.one_of(
+    st.integers(-2**53, 2**53),
+    st.floats(-1e12, 1e12, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestWorkloadProperties:
+    @given(st.lists(segments, max_size=12),
+           st.floats(0, 2000, allow_nan=False),
+           st.floats(0, 2000, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_integral_equals_sum_of_subintervals(self, segs, a, b):
+        assume(a < b)
+        w = Workload()
+        w.extend(segs)
+        mid = (a + b) / 2
+        whole = w.integrate("cpu", a, b)
+        split = w.integrate("cpu", a, mid) + w.integrate("cpu", mid, b)
+        assert whole == pytest.approx(split, rel=1e-9, abs=1e-9)
+
+    @given(st.lists(segments, max_size=12),
+           st.floats(0, 2000, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_demand_never_negative(self, segs, t):
+        w = Workload()
+        w.extend(segs)
+        demand = w.demand(t)
+        assert all(v >= 0 for v in demand.values())
+
+    @given(st.lists(segments, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_demand_constant_between_change_points(self, segs):
+        w = Workload()
+        w.extend(segs)
+        points = [0.0] + w.change_points(0.0, 4000.0) + [4000.0]
+        for a, b in zip(points[:-1], points[1:]):
+            if b - a < 1e-6:
+                continue
+            mid1 = a + (b - a) * 0.25
+            mid2 = a + (b - a) * 0.75
+            assert w.demand(mid1) == w.demand(mid2)
+
+
+class TestThermalProperties:
+    @given(st.floats(0, 1, allow_nan=False),
+           st.floats(1, 3000, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_temperature_bounded_by_equilibria(self, load, t):
+        kernel = SimKernel()
+        node = SimulatedNode(kernel, "p", node_id=1)
+        node.power_on()
+        node.workload.add(WorkloadSegment(start=0, duration=1e6, cpu=load))
+        temp = node.thermal.temperature(t)
+        spec = node.thermal.spec
+        lo = spec.ambient - 1e-6
+        hi = spec.ambient + spec.k_load * load + 1e-6
+        assert lo <= temp <= hi
+
+    @given(st.floats(0.05, 1, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_time_to_reach_consistent_with_temperature(self, load):
+        kernel = SimKernel()
+        node = SimulatedNode(kernel, "p", node_id=1)
+        node.power_on()
+        node.workload.add(WorkloadSegment(start=0, duration=1e6, cpu=load))
+        node.thermal.fan_failure(0.0)
+        eq = node.thermal.equilibrium(0.0)
+        target = (node.thermal.spec.ambient + eq) / 2
+        eta = node.thermal.time_to_reach(target, 0.0)
+        assume(eta is not None and eta > 0)
+        assert node.thermal.temperature(eta) == pytest.approx(target,
+                                                              abs=0.05)
+
+
+class TestRingBufferProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=300), max_size=30),
+           st.integers(1, 256))
+    @settings(max_examples=80, deadline=None)
+    def test_byte_ring_equals_tail_of_concatenation(self, chunks, cap):
+        buf = ByteRingBuffer(cap)
+        everything = b""
+        for chunk in chunks:
+            buf.write(chunk)
+            everything += chunk
+        assert buf.snapshot() == everything[-cap:] if everything \
+            else buf.snapshot() == b""
+        assert len(buf) <= cap
+        assert buf.total_written == len(everything)
+
+    @given(st.lists(st.tuples(st.floats(0, 1e6, allow_nan=False),
+                              st.floats(-1e9, 1e9, allow_nan=False)),
+                    max_size=200),
+           st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_timeseries_ring_keeps_last_k(self, pairs, cap):
+        pairs = sorted(pairs)
+        ring = TimeSeriesRing(cap)
+        ring.extend(pairs)
+        t, v = ring.arrays()
+        expected = pairs[-cap:]
+        assert len(t) == len(expected)
+        assert np.allclose(t, [p[0] for p in expected])
+        assert np.allclose(v, [p[1] for p in expected])
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=2,
+                    max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_numpy(self, values):
+        s = StreamingStats()
+        s.update(values)
+        assert s.mean == pytest.approx(np.mean(values), rel=1e-6,
+                                       abs=1e-6)
+        assert s.variance == pytest.approx(np.var(values, ddof=1),
+                                           rel=1e-4, abs=1e-4)
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                    max_size=50),
+           st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                    max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associative_with_concat(self, a_vals, b_vals):
+        merged = StreamingStats()
+        merged.update(a_vals)
+        other = StreamingStats()
+        other.update(b_vals)
+        merged.merge(other)
+        direct = StreamingStats()
+        direct.update(a_vals + b_vals)
+        assert merged.n == direct.n
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-6,
+                                            abs=1e-6)
+        assert merged.min == direct.min and merged.max == direct.max
+
+
+class TestCodecProperties:
+    @given(st.dictionaries(metric_names, metric_values, max_size=30),
+           st.floats(0, 1e8, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_text_codec_roundtrip(self, values, t):
+        codec = TextCodec()
+        host, t2, decoded = codec.decode(codec.encode("host1", t, values))
+        assert host == "host1"
+        assert t2 == pytest.approx(t, abs=1e-3)
+        assert set(decoded) == set(values)
+        for k, v in values.items():
+            assert decoded[k] == pytest.approx(v, rel=1e-9, abs=1e-9)
+
+    @given(st.dictionaries(metric_names, metric_values, max_size=30),
+           st.floats(0, 1e8, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_binary_codec_roundtrip(self, values, t):
+        codec = BinaryCodec()
+        host, t2, decoded = codec.decode(codec.encode("h", t, values))
+        assert host == "h" and t2 == pytest.approx(t)
+        for k, v in values.items():
+            assert decoded[k] == pytest.approx(float(v), rel=1e-12)
+
+
+class TestConsolidatorProperties:
+    @given(st.lists(st.dictionaries(metric_names, metric_values,
+                                    min_size=1, max_size=10),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_replaying_deltas_reconstructs_state(self, updates):
+        """The server only ever sees deltas; applying them in order must
+        reproduce the node's final state — the core correctness contract
+        of change suppression."""
+        consolidator = Consolidator()
+        replica = {}
+        truth = {}
+        for i, update in enumerate(updates):
+            truth.update(update)
+            delta = consolidator.update(update, t=float(i))
+            replica.update(delta)
+        for key, value in truth.items():
+            assert replica[key] == value
+
+    @given(st.dictionaries(metric_names, metric_values, min_size=1,
+                           max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_identical_update_releases_nothing(self, update):
+        c = Consolidator()
+        c.update(update, t=0.0)
+        assert c.update(dict(update), t=1.0) == {}
+
+
+class TestProcfsProperties:
+    @given(st.floats(0, 0.99, allow_nan=False),
+           st.integers(0, 3 << 30))
+    @settings(max_examples=30, deadline=None)
+    def test_parsers_agree_across_node_states(self, cpu, memory):
+        kernel = SimKernel()
+        node = SimulatedNode(kernel, "p", node_id=1)
+        node.power_on()
+        node.workload.add(WorkloadSegment(start=0, duration=1e5, cpu=cpu,
+                                          memory=memory))
+        kernel.run(until=37.0)
+        fs = ProcFilesystem(node)
+        text = fs.read_text("/proc/meminfo")
+        generic = parse_generic("/proc/meminfo", text)
+        apriori = parse_apriori("/proc/meminfo", text)
+        assert generic["MemTotal"] == pytest.approx(apriori["MemTotal"],
+                                                    abs=1024)
+        assert generic["MemFree"] == pytest.approx(apriori["MemFree"],
+                                                   abs=1024)
+
+
+class TestIPFilterProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+    @settings(max_examples=80, deadline=None)
+    def test_address_matches_its_own_prefix(self, addr, bits):
+        octets = [(addr >> s) & 0xFF for s in (24, 16, 8, 0)]
+        dotted = ".".join(map(str, octets))
+        f = IPFilter(default_allow=False)
+        f.allow(f"{dotted}/{bits}")
+        assert f.permits(dotted)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_deny_all_rule(self, addr):
+        octets = [(addr >> s) & 0xFF for s in (24, 16, 8, 0)]
+        dotted = ".".join(map(str, octets))
+        f = IPFilter(default_allow=True)
+        f.deny("0.0.0.0/0")
+        assert not f.permits(dotted)
+
+
+class TestFabricConservation:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                              st.integers(1, 10_000_000)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_are_conserved(self, transfers):
+        """Every byte offered to the fabric is delivered exactly once,
+        regardless of how flows overlap and share bandwidth."""
+        from repro.network import NetworkFabric
+        from repro.hardware import SimulatedNode
+
+        kernel = SimKernel()
+        fabric = NetworkFabric(kernel)
+        nodes = [SimulatedNode(kernel, f"f{i}", node_id=i + 1)
+                 for i in range(4)]
+        for node in nodes:
+            node.power_on()
+            fabric.attach(node)
+        expected_rx = {n.hostname: 0 for n in nodes}
+        total = 0
+        for src_i, dst_i, nbytes in transfers:
+            if src_i == dst_i:
+                dst_i = (dst_i + 1) % 4
+            fabric.unicast(nodes[src_i], nodes[dst_i], nbytes)
+            expected_rx[nodes[dst_i].hostname] += nbytes
+            total += nbytes
+        kernel.run()
+        assert fabric.total_bytes("unicast") == pytest.approx(total)
+        for node in nodes:
+            assert node.nic._fabric_rx == expected_rx[node.hostname]
+        assert fabric.active_flows == 0

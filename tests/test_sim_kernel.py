@@ -1,0 +1,304 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimKernel,
+    Timeout,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self, kernel):
+        assert kernel.now == 0.0
+
+    def test_custom_start_time(self):
+        assert SimKernel(start_time=100.0).now == 100.0
+
+    def test_run_until_advances_clock_exactly(self, kernel):
+        kernel.run(until=42.5)
+        assert kernel.now == 42.5
+
+    def test_run_until_past_deadline_rejected(self, kernel):
+        kernel.run(until=10.0)
+        with pytest.raises(ValueError):
+            kernel.run(until=5.0)
+
+    def test_peek_empty_is_inf(self, kernel):
+        assert kernel.peek() == float("inf")
+
+    def test_peek_shows_next_event_time(self, kernel):
+        kernel.timeout(3.0)
+        kernel.timeout(1.0)
+        assert kernel.peek() == 1.0
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, kernel):
+        t = kernel.timeout(5.0)
+        kernel.run()
+        assert kernel.now == 5.0
+        assert t.processed and t.ok
+
+    def test_carries_value(self, kernel):
+        t = kernel.timeout(1.0, value="payload")
+        kernel.run()
+        assert t.value == "payload"
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.timeout(-1.0)
+
+    def test_zero_delay_fires_now(self, kernel):
+        t = kernel.timeout(0.0)
+        kernel.run()
+        assert kernel.now == 0.0 and t.processed
+
+    def test_ordering_is_fifo_at_equal_time(self, kernel):
+        order = []
+
+        def proc(name, delay):
+            yield kernel.timeout(delay)
+            order.append(name)
+
+        kernel.process(proc("a", 1.0))
+        kernel.process(proc("b", 1.0))
+        kernel.process(proc("c", 1.0))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, kernel):
+        ev = kernel.event()
+        got = []
+
+        def proc():
+            got.append((yield ev))
+
+        kernel.process(proc())
+        ev.succeed(99)
+        kernel.run()
+        assert got == [99]
+
+    def test_double_trigger_rejected(self, kernel):
+        ev = kernel.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_fail_raises_in_waiter(self, kernel):
+        ev = kernel.event()
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        kernel.process(proc())
+        ev.fail(ValueError("boom"))
+        kernel.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failure_propagates_from_run(self, kernel):
+        ev = kernel.event()
+        ev.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            kernel.run()
+
+    def test_fail_requires_exception(self, kernel):
+        with pytest.raises(TypeError):
+            kernel.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self, kernel):
+        with pytest.raises(RuntimeError):
+            _ = kernel.event().value
+
+    def test_yield_already_processed_event(self, kernel):
+        ev = kernel.timeout(1.0, value="x")
+        got = []
+
+        def late():
+            yield kernel.timeout(5.0)
+            got.append((yield ev))  # long processed by now
+
+        kernel.process(late())
+        kernel.run()
+        assert got == ["x"]
+
+
+class TestProcess:
+    def test_return_value_is_event_value(self, kernel):
+        def proc():
+            yield kernel.timeout(1.0)
+            return "result"
+
+        p = kernel.process(proc())
+        assert kernel.run(p) == "result"
+
+    def test_exception_propagates_to_run_until(self, kernel):
+        def proc():
+            yield kernel.timeout(1.0)
+            raise KeyError("inner")
+
+        p = kernel.process(proc())
+        with pytest.raises(KeyError):
+            kernel.run(p)
+
+    def test_is_alive_lifecycle(self, kernel):
+        def proc():
+            yield kernel.timeout(2.0)
+
+        p = kernel.process(proc())
+        assert p.is_alive
+        kernel.run()
+        assert not p.is_alive
+
+    def test_processes_chain(self, kernel):
+        def child():
+            yield kernel.timeout(3.0)
+            return 21
+
+        def parent():
+            value = yield kernel.process(child())
+            return value * 2
+
+        assert kernel.run(kernel.process(parent())) == 42
+
+    def test_yield_non_event_is_error(self, kernel):
+        def proc():
+            yield 42
+
+        p = kernel.process(proc())
+        with pytest.raises(RuntimeError, match="non-event"):
+            kernel.run(p)
+
+    def test_non_generator_rejected(self, kernel):
+        with pytest.raises(TypeError):
+            kernel.process(lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_reaches_process_with_cause(self, kernel):
+        causes = []
+
+        def victim():
+            try:
+                yield kernel.timeout(100.0)
+            except Interrupt as i:
+                causes.append((kernel.now, i.cause))
+
+        p = kernel.process(victim())
+
+        def attacker():
+            yield kernel.timeout(5.0)
+            p.interrupt("reason-x")
+
+        kernel.process(attacker())
+        kernel.run()
+        # Delivered at the interrupter's time, not the timeout's.
+        assert causes == [(5.0, "reason-x")]
+
+    def test_interrupt_dead_process_is_noop(self, kernel):
+        def quick():
+            yield kernel.timeout(1.0)
+
+        p = kernel.process(quick())
+        kernel.run()
+        p.interrupt("late")  # must not raise
+
+    def test_interrupted_process_can_continue(self, kernel):
+        log = []
+
+        def victim():
+            try:
+                yield kernel.timeout(100.0)
+            except Interrupt:
+                log.append("interrupted")
+            yield kernel.timeout(1.0)
+            log.append("resumed")
+
+        p = kernel.process(victim())
+
+        def attacker():
+            yield kernel.timeout(2.0)
+            p.interrupt()
+
+        kernel.process(attacker())
+        kernel.run()
+        assert log == ["interrupted", "resumed"]
+
+    def test_kill_terminates(self, kernel):
+        def immortal():
+            while True:
+                yield kernel.timeout(1.0)
+
+        p = kernel.process(immortal())
+        kernel.run(until=5.0)
+        p.kill()
+        kernel.run()
+        assert not p.is_alive
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, kernel):
+        t1 = kernel.timeout(1.0, value="a")
+        t2 = kernel.timeout(5.0, value="b")
+        got = kernel.run(kernel.all_of([t1, t2]))
+        assert kernel.now == 5.0
+        assert set(got.values()) == {"a", "b"}
+
+    def test_any_of_fires_on_first(self, kernel):
+        t1 = kernel.timeout(1.0, value="fast")
+        t2 = kernel.timeout(5.0, value="slow")
+        got = kernel.run(kernel.any_of([t1, t2]))
+        assert kernel.now == 1.0
+        assert list(got.values()) == ["fast"]
+
+    def test_all_of_empty_fires_immediately(self, kernel):
+        ev = kernel.all_of([])
+        assert ev.triggered
+
+    def test_all_of_already_processed_events(self, kernel):
+        t1 = kernel.timeout(1.0)
+        kernel.run()
+        combined = kernel.all_of([t1])
+        kernel.run()
+        assert combined.processed and combined.ok
+
+    def test_all_of_propagates_failure(self, kernel):
+        ev = kernel.event()
+        cond = kernel.all_of([ev, kernel.timeout(10.0)])
+
+        def proc():
+            with pytest.raises(ValueError):
+                yield cond
+
+        kernel.process(proc())
+        ev.fail(ValueError("nope"))
+        kernel.run()
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            k = SimKernel()
+            trace = []
+
+            def worker(name, period):
+                while k.now < 50:
+                    yield k.timeout(period)
+                    trace.append((round(k.now, 6), name))
+
+            for i, period in enumerate([1.7, 2.3, 0.9]):
+                k.process(worker(f"w{i}", period))
+            k.run(until=50)
+            return trace
+
+        assert build() == build()

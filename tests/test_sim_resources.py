@@ -1,0 +1,129 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, kernel):
+        res = Resource(kernel, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered and not r3.triggered
+        assert res.count == 2 and res.queued == 1
+
+    def test_release_grants_next_in_fifo_order(self, kernel):
+        res = Resource(kernel, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        r3 = res.request()
+        res.release(r1)
+        assert r2.triggered and not r3.triggered
+
+    def test_release_ungranted_raises(self, kernel):
+        res = Resource(kernel, capacity=1)
+        res.request()
+        foreign = Resource(kernel).request()
+        with pytest.raises(ValueError):
+            res.release(foreign)
+
+    def test_cancel_queued_request(self, kernel):
+        res = Resource(kernel, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)  # removing a queued request is a cancellation
+        assert res.queued == 0
+        res.release(r1)
+        assert res.count == 0
+
+    def test_capacity_validation(self, kernel):
+        with pytest.raises(ValueError):
+            Resource(kernel, capacity=0)
+
+    def test_mutual_exclusion_in_processes(self, kernel):
+        res = Resource(kernel, capacity=1)
+        active = []
+        max_active = []
+
+        def worker():
+            req = res.request()
+            yield req
+            active.append(1)
+            max_active.append(len(active))
+            yield kernel.timeout(1.0)
+            active.pop()
+            res.release(req)
+
+        for _ in range(5):
+            kernel.process(worker())
+        kernel.run()
+        assert max(max_active) == 1
+        assert kernel.now == 5.0
+
+
+class TestStore:
+    def test_put_then_get(self, kernel):
+        store = Store(kernel)
+        store.put("item")
+        got = store.get()
+        kernel.run()
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self, kernel):
+        store = Store(kernel)
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        def producer():
+            yield kernel.timeout(3.0)
+            yield store.put("late")
+
+        kernel.process(consumer())
+        kernel.process(producer())
+        kernel.run()
+        assert got == ["late"] and kernel.now == 3.0
+
+    def test_fifo_item_order(self, kernel):
+        store = Store(kernel)
+        for i in range(5):
+            store.put(i)
+        results = []
+
+        def consumer():
+            for _ in range(5):
+                results.append((yield store.get()))
+
+        kernel.process(consumer())
+        kernel.run()
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_put(self, kernel):
+        store = Store(kernel, capacity=1)
+        p1 = store.put("a")
+        p2 = store.put("b")
+        assert p1.triggered and not p2.triggered
+        store.get()
+        assert p2.triggered
+
+    def test_filtered_get(self, kernel):
+        store = Store(kernel)
+        store.put({"kind": "x", "n": 1})
+        store.put({"kind": "y", "n": 2})
+        got = store.get(filter=lambda item: item["kind"] == "y")
+        kernel.run()
+        assert got.value["n"] == 2
+        assert len(store) == 1  # the x item remains
+
+    def test_filtered_get_waits_for_match(self, kernel):
+        store = Store(kernel)
+        store.put("no")
+        got = store.get(filter=lambda item: item == "yes")
+        assert not got.triggered
+        store.put("yes")
+        assert got.triggered
+
+    def test_invalid_capacity(self, kernel):
+        with pytest.raises(ValueError):
+            Store(kernel, capacity=0)

@@ -1,0 +1,321 @@
+"""Unit tests for the SLURM-lite resource manager."""
+
+import pytest
+
+from repro.hardware import NodeState, SimulatedNode
+from repro.slurm import (
+    BackfillScheduler,
+    FIFOScheduler,
+    FailoverPair,
+    Job,
+    JobState,
+    NodeAllocState,
+    Partition,
+    Scheduler,
+    SlurmController,
+)
+
+
+@pytest.fixture
+def slurm(kernel, make_node_set):
+    nodes = make_node_set(8)
+    ctl = SlurmController(kernel)
+    for n in nodes:
+        ctl.register_node(n)
+    return ctl, nodes
+
+
+def job(**kw):
+    defaults = dict(name="j", user="u", n_nodes=1, time_limit=100.0,
+                    duration=50.0)
+    defaults.update(kw)
+    return Job(**defaults)
+
+
+class TestJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            job(n_nodes=0)
+        with pytest.raises(ValueError):
+            job(time_limit=0)
+        with pytest.raises(ValueError):
+            job(duration=-1)
+
+    def test_unique_ids(self):
+        assert job().id != job().id
+
+    def test_wait_time(self):
+        j = job()
+        assert j.wait_time is None
+        j.submit_time, j.start_time = 10.0, 25.0
+        assert j.wait_time == 15.0
+
+
+class TestPartition:
+    def test_admits_checks_size_time_sharing(self):
+        p = Partition("p", hostnames=["a", "b"], max_time=100.0,
+                      allow_shared=False)
+        assert p.admits(job(n_nodes=2))[0]
+        assert not p.admits(job(n_nodes=3))[0]
+        assert not p.admits(job(time_limit=200.0))[0]
+        assert not p.admits(job(exclusive=False))[0]
+
+
+class TestBasicScheduling:
+    def test_job_runs_and_completes(self, kernel, slurm):
+        ctl, nodes = slurm
+        j = ctl.submit(job(n_nodes=2, duration=30.0))
+        assert j.state == JobState.RUNNING  # free nodes: immediate start
+        assert len(j.allocated) == 2
+        kernel.run(until=31.0)
+        assert j.state == JobState.COMPLETED
+        assert j.end_time == pytest.approx(30.0)
+
+    def test_job_load_visible_on_nodes(self, kernel, slurm):
+        ctl, nodes = slurm
+        j = ctl.submit(job(n_nodes=1, duration=50.0, cpu_per_node=0.8))
+        kernel.run(until=10.0)
+        host = j.allocated[0]
+        node = next(n for n in nodes if n.hostname == host)
+        assert node.cpu.utilization(10.0) == pytest.approx(0.8)
+
+    def test_queue_arbitration(self, kernel, slurm):
+        ctl, _ = slurm
+        j1 = ctl.submit(job(n_nodes=8, duration=40.0))
+        j2 = ctl.submit(job(n_nodes=8, duration=40.0))
+        assert j1.state == JobState.RUNNING
+        assert j2.state == JobState.PENDING
+        kernel.run(until=41.0)
+        assert j2.state == JobState.RUNNING
+        kernel.run(until=82.0)
+        assert j2.state == JobState.COMPLETED
+
+    def test_timeout_enforced(self, kernel, slurm):
+        ctl, _ = slurm
+        j = ctl.submit(job(time_limit=20.0, duration=100.0))
+        kernel.run(until=25.0)
+        assert j.state == JobState.TIMEOUT
+        assert j.end_time == pytest.approx(20.0)
+
+    def test_cancel_pending(self, kernel, slurm):
+        ctl, _ = slurm
+        ctl.submit(job(n_nodes=8, duration=100.0))
+        j2 = ctl.submit(job(n_nodes=8))
+        assert ctl.cancel(j2.id)
+        assert j2.state == JobState.CANCELLED
+        assert ctl.cancel(9999) is False
+
+    def test_cancel_running_frees_nodes(self, kernel, slurm):
+        ctl, nodes = slurm
+        j = ctl.submit(job(n_nodes=8, duration=500.0))
+        kernel.run(until=10.0)
+        ctl.cancel(j.id)
+        assert j.state == JobState.CANCELLED
+        # nodes free: a new job starts immediately
+        j2 = ctl.submit(job(n_nodes=8))
+        assert j2.state == JobState.RUNNING
+
+    def test_priority_order(self, kernel, slurm):
+        ctl, _ = slurm
+        blocker = ctl.submit(job(n_nodes=8, duration=30.0))
+        low = ctl.submit(job(n_nodes=8, priority=0, duration=10.0))
+        high = ctl.submit(job(n_nodes=8, priority=5, duration=10.0))
+        kernel.run(until=35.0)
+        assert high.state == JobState.RUNNING
+        assert low.state == JobState.PENDING
+
+    def test_oversized_job_rejected(self, kernel, slurm):
+        ctl, _ = slurm
+        with pytest.raises(ValueError, match="rejected"):
+            ctl.submit(job(n_nodes=100))
+
+    def test_node_alloc_states(self, kernel, slurm):
+        ctl, nodes = slurm
+        j = ctl.submit(job(n_nodes=1, duration=50.0))
+        host = j.allocated[0]
+        assert ctl.node_alloc_state(host) == NodeAllocState.ALLOCATED
+        idle_host = next(n.hostname for n in nodes
+                         if n.hostname != host)
+        assert ctl.node_alloc_state(idle_host) == NodeAllocState.IDLE
+
+    def test_drain_excludes_node(self, kernel, slurm):
+        ctl, nodes = slurm
+        for n in nodes:
+            ctl.drain(n.hostname)
+        j = ctl.submit(job(n_nodes=1))
+        assert j.state == JobState.PENDING
+        ctl.resume(nodes[0].hostname)
+        assert j.state == JobState.RUNNING
+
+
+class TestSharedAllocation:
+    def test_non_exclusive_jobs_share_a_node(self, kernel, slurm):
+        ctl, _ = slurm
+        j1 = ctl.submit(job(exclusive=False, cpu_per_node=0.4,
+                            duration=100.0))
+        j2 = ctl.submit(job(exclusive=False, cpu_per_node=0.4,
+                            duration=100.0))
+        assert j1.state == j2.state == JobState.RUNNING
+        assert j1.allocated == j2.allocated  # packed on one node
+
+    def test_shared_cpu_capacity_respected(self, kernel, slurm):
+        ctl, _ = slurm
+        for _ in range(3):
+            ctl.submit(job(exclusive=False, cpu_per_node=0.4,
+                           duration=100.0))
+        # 3 x 0.4 > 1.0: the third lands on a second node
+        hosts = {tuple(j.allocated) for j in ctl.running.values()}
+        assert len(hosts) == 2
+
+    def test_exclusive_job_avoids_shared_nodes(self, kernel, slurm):
+        ctl, _ = slurm
+        shared = ctl.submit(job(exclusive=False, cpu_per_node=0.2,
+                                duration=100.0))
+        exclusive = ctl.submit(job(n_nodes=8, duration=10.0))
+        assert exclusive.state == JobState.PENDING  # only 7 empty nodes
+
+
+class TestFaultTolerance:
+    def test_node_death_fails_job(self, kernel, slurm):
+        ctl, nodes = slurm
+        j = ctl.submit(job(n_nodes=3, duration=100.0))
+        kernel.run(until=10.0)
+        victim = next(n for n in nodes if n.hostname == j.allocated[0])
+        victim.crash("oops")
+        assert j.state == JobState.FAILED
+        # the other two nodes were released
+        for host in j.allocated[1:]:
+            assert ctl.node_alloc_state(host) == NodeAllocState.IDLE
+
+    def test_down_node_not_allocated(self, kernel, slurm):
+        ctl, nodes = slurm
+        nodes[0].crash("dead")
+        for _ in range(8):
+            ctl.submit(job(n_nodes=1, duration=1000.0))
+        hosts = {h for j in ctl.running.values() for h in j.allocated}
+        assert nodes[0].hostname not in hosts
+        assert len(ctl.running) == 7
+
+    def test_controller_failover_preserves_queue(self, kernel,
+                                                 make_node_set):
+        nodes = make_node_set(4)
+        ctl_host = SimulatedNode(kernel, "ctl", node_id=90)
+        ctl_host.power_on()
+        bak_host = SimulatedNode(kernel, "bak", node_id=91)
+        bak_host.power_on()
+        primary = SlurmController(kernel, host=ctl_host)
+        backup = SlurmController(kernel, host=bak_host, name="backup")
+        for n in nodes:
+            primary.register_node(n)
+        pair = FailoverPair(kernel, primary, backup, check_interval=2.0)
+        running = pair.submit(job(n_nodes=4, duration=100.0))
+        queued = pair.submit(job(n_nodes=4, duration=50.0))
+        kernel.run(until=10.0)
+        ctl_host.crash("controller death")
+        kernel.run(until=20.0)
+        assert pair.failed_over
+        assert pair.active is backup
+        kernel.run(until=300.0)
+        # both jobs finished under the backup
+        assert running.state == JobState.COMPLETED
+        assert queued.state == JobState.COMPLETED
+
+    def test_submit_to_dead_controller_rejected(self, kernel,
+                                                make_node_set):
+        host = SimulatedNode(kernel, "c", node_id=90)
+        host.power_on()
+        ctl = SlurmController(kernel, host=host)
+        host.crash("dead")
+        with pytest.raises(RuntimeError):
+            ctl.submit(job())
+
+
+class TestSchedulers:
+    def _run_mix(self, kernel_cls, scheduler, n_nodes=8):
+        kernel = kernel_cls()
+        nodes = [SimulatedNode(kernel, f"s{i}", node_id=i + 1)
+                 for i in range(n_nodes)]
+        for n in nodes:
+            n.power_on()
+        ctl = SlurmController(kernel, scheduler=scheduler)
+        for n in nodes:
+            ctl.register_node(n)
+        # head-of-line blocker pattern: wide job stuck behind a long one
+        ctl.submit(job(name="long", n_nodes=4, time_limit=300,
+                       duration=280.0))
+        ctl.submit(job(name="wide", n_nodes=8, time_limit=200,
+                       duration=100.0))
+        small = [ctl.submit(job(name=f"small{i}", n_nodes=2,
+                                time_limit=60, duration=40.0))
+                 for i in range(3)]
+        kernel.run(until=1000.0)
+        return ctl, small
+
+    def test_backfill_runs_small_jobs_early(self):
+        from repro.sim import SimKernel
+        ctl, small = self._run_mix(SimKernel, BackfillScheduler())
+        assert all(j.start_time < 100.0 for j in small)
+
+    def test_fifo_blocks_small_jobs(self):
+        from repro.sim import SimKernel
+        ctl, small = self._run_mix(SimKernel, FIFOScheduler())
+        assert all(j.start_time > 100.0 for j in small)
+
+    def test_backfill_never_delays_head(self):
+        from repro.sim import SimKernel
+        kernel = SimKernel()
+        nodes = [SimulatedNode(kernel, f"s{i}", node_id=i + 1)
+                 for i in range(4)]
+        for n in nodes:
+            n.power_on()
+        ctl = SlurmController(kernel, scheduler=BackfillScheduler())
+        for n in nodes:
+            ctl.register_node(n)
+        ctl.submit(job(name="running", n_nodes=2, time_limit=100,
+                       duration=100.0))
+        head = ctl.submit(job(name="head", n_nodes=4, time_limit=100,
+                              duration=10.0))
+        # this candidate would outlive the head's reservation on the
+        # 2 idle nodes -> must NOT be backfilled
+        hog = ctl.submit(job(name="hog", n_nodes=2, time_limit=500,
+                             duration=400.0))
+        kernel.run(until=101.0)
+        assert head.state == JobState.RUNNING
+        assert head.start_time == pytest.approx(100.0)
+
+    def test_external_scheduler_api(self, kernel, make_node_set):
+        """A Maui-style external scheduler: smallest-job-first."""
+
+        class SmallestFirst(Scheduler):
+            name = "maui-lite"
+
+            def select(self, queue, idle, running, now):
+                placements, free = [], list(idle)
+                for j in sorted(queue, key=lambda x: x.n_nodes):
+                    if j.n_nodes <= len(free):
+                        take, free = free[:j.n_nodes], free[j.n_nodes:]
+                        placements.append((j, take))
+                return placements
+
+        nodes = make_node_set(4)
+        ctl = SlurmController(kernel, scheduler=SmallestFirst())
+        for n in nodes:
+            ctl.register_node(n)
+        blocker = ctl.submit(job(n_nodes=4, duration=10.0))
+        big = ctl.submit(job(n_nodes=4, duration=10.0))
+        tiny = ctl.submit(job(n_nodes=1, duration=10.0))
+        kernel.run(until=11.0)
+        # smallest-first let tiny overtake big
+        assert tiny.state == JobState.RUNNING
+        assert big.state == JobState.PENDING
+
+
+class TestAccounting:
+    def test_stats_summary(self, kernel, slurm):
+        ctl, _ = slurm
+        ctl.submit(job(n_nodes=2, duration=50.0))
+        ctl.submit(job(n_nodes=2, duration=50.0))
+        kernel.run(until=200.0)
+        stats = ctl.stats()
+        assert stats["jobs_completed"] == 2.0
+        assert stats["node_seconds"] == pytest.approx(200.0)

@@ -1,0 +1,107 @@
+"""Stress and failure-injection tests: the framework under sustained abuse."""
+
+import pytest
+
+from repro.core import ClusterWorX
+from repro.hardware import FaultKind, NodeState, WorkloadGenerator
+from repro.slurm import BackfillScheduler, Job, JobState, SlurmController
+
+
+class TestFaultStorm:
+    def test_random_fault_storm_invariants(self):
+        """Random faults over an hour: the management stack never breaks.
+
+        Invariants: the server keeps answering; every crashed/off node is
+        flagged unreachable; every fired event references a real node and
+        rule; emails never exceed (#rules x #refires) bounds.
+        """
+        cwx = ClusterWorX(n_nodes=30, seed=101, monitor_interval=10.0)
+        cwx.start()
+        cwx.add_threshold("down", metric="udp_echo", op="==", threshold=0,
+                          severity="critical")
+        cwx.add_threshold("hot", metric="cpu_temp_c", op=">",
+                          threshold=70.0, action="power_down")
+        gen = WorkloadGenerator(cwx.streams("storm-load"))
+        for node in cwx.cluster.nodes:
+            node.workload.extend(gen.hpc_job(0.0, phases=8))
+
+        rng = cwx.streams("storm")
+        kinds = [FaultKind.FAN_FAILURE, FaultKind.KERNEL_PANIC,
+                 FaultKind.OS_HANG, FaultKind.MEMORY_LEAK,
+                 FaultKind.NIC_DEGRADED, FaultKind.PSU_FAILURE]
+        for step in range(12):
+            victim = cwx.cluster.hostnames[int(rng.integers(0, 30))]
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            node = cwx.cluster.node(victim)
+            if node.state is not NodeState.BURNED:
+                cwx.inject_fault(victim, kind)
+            cwx.run(300)
+
+        # server still serves; summary is consistent
+        summary = cwx.server.cluster_summary()
+        assert summary["nodes_up"] + summary["nodes_down"] == 30
+        view = cwx.client().cluster_view()
+        dead_states = ("crashed", "off", "burned", "hung", "halted")
+        for host in cwx.cluster.hostnames:
+            node = cwx.cluster.node(host)
+            if node.state.value in dead_states:
+                assert view[host]["udp_echo"] == 0, host
+        hostnames = set(cwx.cluster.hostnames)
+        rules = {r.name for r in cwx.server.engine.rules}
+        for event in cwx.fired_events():
+            assert event.node in hostnames
+            assert event.rule in rules
+        # smart notification never flooded: at most one mail per
+        # (rule, re-fire) and far fewer than events
+        assert len(cwx.emails()) <= len(cwx.fired_events())
+
+    def test_everything_dies_and_recovers(self):
+        """Kill the whole cluster, then power-cycle it back through the
+        ICE Boxes; monitoring resumes on every node."""
+        cwx = ClusterWorX(n_nodes=12, seed=102, monitor_interval=5.0)
+        cwx.start()
+        cwx.run(30)
+        for host in cwx.cluster.hostnames:
+            cwx.inject_fault(host, FaultKind.KERNEL_PANIC)
+        cwx.run(30)
+        assert all(n.state is NodeState.CRASHED
+                   for n in cwx.cluster.nodes)
+        session = cwx.client()
+        for host in cwx.cluster.hostnames:
+            assert session.power(host, "reset").startswith("OK")
+        cwx.run(120)
+        assert all(n.state is NodeState.UP for n in cwx.cluster.nodes)
+        summary = cwx.server.cluster_summary()
+        assert summary["nodes_up"] == 12
+
+
+class TestScaleTo1000:
+    def test_paper_scale_cluster(self):
+        """The paper talks about 1000-node clusters; prove the framework
+        handles one: boot, monitor a while, clone, and keep a SLURM
+        queue busy — all in one simulation."""
+        cwx = ClusterWorX(n_nodes=1000, seed=103, monitor_interval=60.0)
+        cwx.start()
+        assert cwx.cluster.up_fraction() == 1.0
+        assert len(cwx.cluster.iceboxes) == 100
+        cwx.run(120)
+        summary = cwx.server.cluster_summary()
+        assert summary["nodes_up"] == 1000
+
+        ctl = SlurmController(cwx.kernel, scheduler=BackfillScheduler())
+        for node in cwx.cluster.nodes:
+            ctl.register_node(node)
+        jobs = [ctl.submit(Job(name=f"j{i}", user="scale", n_nodes=64,
+                               time_limit=400, duration=200))
+                for i in range(20)]
+        cwx.run(1000)
+        assert sum(1 for j in jobs
+                   if j.state == JobState.COMPLETED) == 20
+
+    def test_clone_400_in_paper_band(self):
+        """The headline at true scale through the public API."""
+        cwx = ClusterWorX(n_nodes=400, seed=104, monitor_interval=120.0)
+        cwx.start()
+        report = cwx.clone("compute-harddisk")
+        assert len(report.cloned) == 400
+        assert 4 * 60 <= report.total_seconds <= 25 * 60
