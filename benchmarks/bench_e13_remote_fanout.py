@@ -1,0 +1,76 @@
+"""E13 — parallel fan-out over 400 nodes (repro.remote, beyond-paper).
+
+The paper manages clusters "of significant size" (§1) one action at a
+time; ClusterShell-style parallel execution is the missing workhorse.
+Regenerated: makespan of one command swept over 400 simulated nodes at
+fan-out windows 1 / 16 / 64 / 256 — makespan should collapse roughly as
+ceil(N/window) until the window exceeds the command's natural parallelism.
+"""
+
+import pytest
+
+from _harness import print_table
+from repro.remote import NodeSet, TaskEngine
+from repro.sim import RandomStreams, SimKernel
+
+WINDOWS = (1, 16, 64, 256)
+N_NODES = 400
+COMMAND_SECONDS = 2.0
+
+
+def _run_window(window: int):
+    kernel = SimKernel()
+    engine = TaskEngine(kernel, rng=RandomStreams(42)("remote"))
+
+    def command(_node):
+        yield kernel.timeout(COMMAND_SECONDS)
+        return 0, "ok"
+
+    task = engine.run_sync(command, NodeSet(f"node[001-{N_NODES}]"),
+                           fanout=window)
+    assert task.ok and task.max_in_flight == min(window, N_NODES)
+    return task
+
+
+def test_fanout_window_sweep(benchmark):
+    def run():
+        return {window: _run_window(window).makespan
+                for window in WINDOWS}
+
+    makespans = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = makespans[WINDOWS[0]]
+    rows = [[window, -(-N_NODES // window),
+             f"{makespan:.1f}", f"{serial / makespan:.1f}x"]
+            for window, makespan in makespans.items()]
+    print_table(
+        f"E13: fan-out of one {COMMAND_SECONDS:.0f}s command over "
+        f"{N_NODES} nodes",
+        ["window", "waves", "makespan s", "speedup"], rows)
+
+    # makespan tracks ceil(N/window) * command time exactly (no jitter
+    # in command duration; latency jitter is inside the 2 s command).
+    for window, makespan in makespans.items():
+        waves = -(-N_NODES // window)
+        assert makespan == pytest.approx(COMMAND_SECONDS * waves)
+    assert makespans[64] < makespans[16] < makespans[1]
+
+
+def test_gather_merges_at_scale(benchmark):
+    """400 identical outputs fold to one line; stragglers stay visible."""
+
+    def run():
+        kernel = SimKernel()
+        engine = TaskEngine(kernel, rng=RandomStreams(42)("remote"))
+
+        def command(node):
+            yield kernel.timeout(COMMAND_SECONDS)
+            return (1, "eio") if node == "node400" else (0, "ok")
+
+        return engine.run_sync(command, NodeSet("node[001-400]"),
+                               fanout=64)
+
+    task = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = task.report()
+    print(f"\nE13b: gathered report for 400 nodes "
+          f"({len(report.splitlines())} lines):\n{report}")
+    assert report.splitlines() == ["node[001-399]: ok", "node400: eio"]

@@ -191,6 +191,61 @@ def _cmd_slurm(args) -> int:
     return 0
 
 
+def _cmd_nodeset(args) -> int:
+    from repro.remote import NodeSet, NodeSetParseError
+
+    try:
+        result = NodeSet(",".join(args.patterns))
+        for pattern in args.exclude:
+            result = result - NodeSet(pattern)
+        for pattern in args.intersection:
+            result = result & NodeSet(pattern)
+        for pattern in args.xor:
+            result = result ^ NodeSet(pattern)
+    except NodeSetParseError as exc:
+        print(f"nodeset: {exc}", file=sys.stderr)
+        return 2
+    if args.split:
+        for chunk in result.split(args.split):
+            print(" ".join(chunk) if args.expand else chunk.fold())
+        return 0
+    if args.count:
+        print(len(result))
+    elif args.expand:
+        print(" ".join(result))
+    else:
+        print(result.fold())
+    return 0
+
+
+def _cmd_exec(args) -> int:
+    from repro import ClusterWorX
+    from repro.remote import NodeSetParseError
+
+    cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                      monitor_interval=60.0)
+    cwx.start()
+    words = args.command
+    if words and words[0] == "--":
+        words = words[1:]
+    command = " ".join(words) or "uname -r"
+    try:
+        targets = cwx.nodeset(args.targets)
+    except NodeSetParseError as exc:
+        print(f"exec: {exc}", file=sys.stderr)
+        return 2
+    task = cwx.remote.run_sync(command, targets, fanout=args.fanout,
+                               timeout=args.timeout, retries=args.retries,
+                               failure_policy=args.policy)
+    print(task.report())
+    counts = " ".join(f"{status}={n}"
+                      for status, n in sorted(task.counts().items()))
+    print(f"\n{len(task.nodes)} nodes | fanout {task.fanout} | "
+          f"makespan {task.makespan:.1f} s simulated | "
+          f"{task.total_attempts} attempts | {counts}")
+    return 0 if task.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="clusterworx",
@@ -225,6 +280,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=16)
     p.add_argument("--jobs", type=int, default=12)
     p.set_defaults(fn=_cmd_slurm)
+
+    p = sub.add_parser("nodeset",
+                       help="fold/expand/compute nodeset expressions")
+    p.add_argument("patterns", nargs="+",
+                   help="nodeset patterns, e.g. node[001-400,412]")
+    p.add_argument("-f", "--fold", action="store_true",
+                   help="print the folded form (the default)")
+    p.add_argument("-e", "--expand", action="store_true",
+                   help="print expanded names instead of folding")
+    p.add_argument("-c", "--count", action="store_true",
+                   help="print the number of nodes")
+    p.add_argument("-x", "--exclude", action="append", default=[],
+                   metavar="PAT", help="exclude PAT from the result")
+    p.add_argument("-i", "--intersection", action="append", default=[],
+                   metavar="PAT", help="intersect the result with PAT")
+    p.add_argument("-X", "--xor", action="append", default=[],
+                   metavar="PAT", help="symmetric difference with PAT")
+    p.add_argument("--split", type=int, metavar="N",
+                   help="partition into N near-equal chunks")
+    p.set_defaults(fn=_cmd_nodeset)
+
+    p = sub.add_parser("exec",
+                       help="fan a command out over a simulated cluster")
+    p.add_argument("--nodes", type=int, default=40,
+                   help="cluster size to simulate")
+    p.add_argument("--targets", default="@all",
+                   help="target nodeset (supports @all, @rack<i>, @up)")
+    p.add_argument("--fanout", type=int, default=None,
+                   help="fan-out window (default: engine's 64)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-node command timeout (simulated seconds)")
+    p.add_argument("--retries", type=int, default=0)
+    p.add_argument("--policy", choices=("continue", "abort"),
+                   default="continue", help="on permanent node failure")
+    p.add_argument("command", nargs=argparse.REMAINDER,
+                   help="command to run (default: uname -r)")
+    p.set_defaults(fn=_cmd_exec)
 
     return parser
 

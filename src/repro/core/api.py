@@ -113,6 +113,27 @@ class ClusterWorX:
                password: str = "admin") -> ClientSession:
         return connect(self.server, username, password)
 
+    # -- parallel remote execution -------------------------------------------
+    @property
+    def remote(self):
+        """The fan-out :class:`~repro.remote.engine.TaskEngine`."""
+        return self.server.remote
+
+    def nodeset(self, pattern: str):
+        """Parse ``pattern`` with this cluster's @group resolver."""
+        from repro.remote.nodeset import NodeSet
+        return NodeSet(pattern, resolver=self.cluster.group_resolver())
+
+    def remote_run(self, command, targets: str = "@all", **options):
+        """Fan ``command`` out over ``targets`` and run to completion.
+
+        Returns the finished :class:`~repro.remote.engine.TaskRun`;
+        ``task.report()`` is the ``clush -b`` view.
+        """
+        return self.remote.run_sync(command, self.nodeset(targets)
+                                    if isinstance(targets, str) else targets,
+                                    **options)
+
     # -- high-level operations ----------------------------------------------------
     def clone(self, image_name: str,
               hostnames: Optional[List[str]] = None, *,

@@ -169,6 +169,47 @@ class Cluster:
     def hostnames(self) -> List[str]:
         return [n.hostname for n in self.nodes]
 
+    # -- node groups (NodeSet @group provider) -----------------------------
+    def rack_name(self, hostname: str) -> Optional[str]:
+        """The ``rack<i>`` group a node belongs to (one rack per ICE Box)."""
+        located = self._location.get(hostname)
+        if located is None:
+            return None
+        box, _port = located
+        return f"rack{self.iceboxes.index(box)}"
+
+    def node_groups(self, group: Optional[str] = None):
+        """Resolve one named group (or None for the advertised list).
+
+        Topology groups: ``all`` and one ``rack<i>`` per ICE Box.  State
+        groups (``up``, ``off``, ``crashed``, ``hung``, ``booting``)
+        are computed at resolution time, so ``@up`` always reflects the
+        current simulation state.
+        """
+        state_groups = {s.value: s for s in NodeState}
+        if group is None:
+            return (["all"]
+                    + [f"rack{i}" for i in range(len(self.iceboxes))]
+                    + sorted(state_groups))
+        if group == "all":
+            return self.hostnames
+        if group.startswith("rack"):
+            try:
+                box = self.iceboxes[int(group[4:])]
+            except (ValueError, IndexError):
+                return None
+            return [n.hostname for n in box.nodes]
+        state = state_groups.get(group)
+        if state is not None:
+            return [n.hostname for n in self.nodes if n.state is state]
+        return None
+
+    def group_resolver(self):
+        """A :class:`repro.remote.nodeset.GroupResolver` over this topology."""
+        from repro.remote.nodeset import GroupResolver
+        return GroupResolver(self.node_groups,
+                             names=self.node_groups(None))
+
     def nodes_in_state(self, *states: NodeState) -> List[SimulatedNode]:
         return [n for n in self.nodes if n.state in states]
 

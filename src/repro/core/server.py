@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.core.auth import AuthManager, Role
 from repro.core.cluster import Cluster
-from repro.events.actions import ActionDispatcher
+from repro.events.actions import ActionContext, ActionDispatcher
 from repro.events.engine import EventEngine
 from repro.events.notification import SmartNotifier
 from repro.events.rules import ThresholdRule
@@ -27,6 +27,7 @@ from repro.imaging.manager import ImageManager
 from repro.imaging.multicast_clone import MulticastCloner
 from repro.monitoring.history import HistoryStore
 from repro.monitoring.monitors import MonitorRegistry, builtin_registry
+from repro.remote.engine import TaskEngine
 from repro.sim import SimKernel
 
 __all__ = ["ClusterWorXServer"]
@@ -47,7 +48,14 @@ class ClusterWorXServer:
         self.history = HistoryStore(capacity=history_capacity)
         self.notifier = notifier if notifier is not None \
             else SmartNotifier(kernel, cluster.name)
-        self.dispatcher = ActionDispatcher(resolver=cluster.locate)
+        #: parallel fan-out engine over the managed nodes (repro.remote);
+        #: its jitter draws from the dedicated "remote" stream.
+        self.remote = TaskEngine(kernel, cluster=cluster,
+                                 rng=cluster.streams("remote"))
+        self.dispatcher = ActionDispatcher(
+            resolver=cluster.locate,
+            context=ActionContext(cluster=cluster, remote=self.remote,
+                                  resolver=cluster.group_resolver()))
         self.engine = EventEngine(kernel, dispatcher=self.dispatcher,
                                   notifier=self.notifier)
         self.auth = AuthManager()

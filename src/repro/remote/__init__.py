@@ -1,0 +1,32 @@
+"""Parallel remote execution: NodeSet algebra + event-driven fan-out.
+
+The two workhorses of large-cluster operation (paper §1/§5.2; prior art:
+ClusterShell, pdsh):
+
+* :class:`~repro.remote.nodeset.NodeSet` — an immutable set-of-nodes value
+  type speaking the folded range syntax (``node[001-400,412]``), with full
+  set algebra, ``@group`` resolution, and ``split()`` partitioning;
+* :class:`~repro.remote.engine.TaskEngine` — a discrete-event fan-out
+  executor: a bounded window of concurrent workers (default 64), per-node
+  timeout + retry-with-backoff, continue/abort failure policies, and
+  ``clubak``-style gathering of identical outputs under folded keys.
+"""
+
+from repro.remote.commands import SimCommandTarget
+from repro.remote.engine import TaskEngine, TaskRun
+from repro.remote.gather import GatheredGroup, format_gathered, gather
+from repro.remote.nodeset import GroupResolver, NodeSet, NodeSetParseError
+from repro.remote.worker import WorkerResult
+
+__all__ = [
+    "GatheredGroup",
+    "GroupResolver",
+    "NodeSet",
+    "NodeSetParseError",
+    "SimCommandTarget",
+    "TaskEngine",
+    "TaskRun",
+    "WorkerResult",
+    "format_gathered",
+    "gather",
+]

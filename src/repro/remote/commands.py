@@ -1,0 +1,142 @@
+"""Command targets: what "running a command on a node" means in the sim.
+
+A target turns ``(command, hostname)`` into a generator the worker drives
+on the simulation kernel; the generator's return value is ``(rc, output)``.
+Two families:
+
+* **in-band** commands (``echo``, ``uname``, ``uptime``, ``state``,
+  ``sleep``, ``fail``) behave like a remote shell — they need the node's
+  OS up, otherwise they fail with rc 255 like an unreachable ssh host;
+* **out-of-band** commands (``power on|off|cycle``, ``reboot``,
+  ``console``) go through the ICE Box that feeds the node — they work on
+  crashed, hung, or powered-off nodes, which is the point of §3.
+
+Per-attempt latency is drawn from the engine's dedicated ``"remote"``
+RNG stream so fan-out schedules are deterministic per seed and do not
+perturb any other subsystem's draws.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Generator, Optional, Tuple
+
+from repro.hardware.node import NodeState
+from repro.sim import SimKernel
+
+__all__ = ["CommandOutcome", "SimCommandTarget"]
+
+#: (rc, output) — what a finished command attempt produced.
+CommandOutcome = Tuple[int, str]
+
+
+class SimCommandTarget:
+    """Executes command strings against a :class:`repro.core.Cluster`."""
+
+    #: simulated kernel release reported by ``uname -r``
+    KERNEL_RELEASE = "2.4.20-cwx"
+
+    def __init__(self, kernel: SimKernel, cluster=None, *, rng=None,
+                 base_latency: float = 0.05, jitter: float = 0.05):
+        self.kernel = kernel
+        self.cluster = cluster
+        self.rng = rng
+        self.base_latency = base_latency
+        self.jitter = jitter
+
+    # -- helpers --------------------------------------------------------
+    def _latency(self) -> float:
+        if self.rng is None or self.jitter <= 0:
+            return self.base_latency
+        return self.base_latency + float(self.rng.exponential(self.jitter))
+
+    def _node(self, hostname: str):
+        if self.cluster is None:
+            raise RuntimeError(
+                "SimCommandTarget needs a cluster to resolve hostnames")
+        return self.cluster.node(hostname)
+
+    def _locate(self, node):
+        located = self.cluster.locate(node) if self.cluster else None
+        return located  # (icebox, port) or None
+
+    # -- entry point ----------------------------------------------------
+    def invoke(self, command: str, hostname: str
+               ) -> Generator[object, object, CommandOutcome]:
+        """Generator that performs one attempt of ``command``."""
+        node = self._node(hostname)
+        yield self.kernel.timeout(self._latency())
+        words = shlex.split(command)
+        if not words:
+            return 2, "empty command"
+        verb = words[0].lower()
+
+        if verb in ("power", "reboot", "console"):
+            return (yield from self._out_of_band(verb, words, node))
+        return (yield from self._in_band(verb, words, node, command))
+
+    # -- in-band (needs a live OS) --------------------------------------
+    def _in_band(self, verb: str, words, node, command: str
+                 ) -> Generator[object, object, CommandOutcome]:
+        if not node.is_running() or node.state is NodeState.HUNG:
+            return 255, f"ssh: connect to host {node.hostname}: no route"
+        now = self.kernel.now
+        if verb == "echo":
+            return 0, " ".join(words[1:])
+        if verb == "uname":
+            return 0, self.KERNEL_RELEASE
+        if verb == "uptime":
+            return 0, f"up {node.uptime(now):.0f}s"
+        if verb == "state":
+            return 0, node.state.value
+        if verb == "sleep":
+            duration = float(words[1]) if len(words) > 1 else 1.0
+            yield self.kernel.timeout(duration)
+            return 0, ""
+        if verb == "fail":
+            rc = int(words[1]) if len(words) > 1 else 1
+            return rc, f"exit {rc}"
+        return 127, f"{verb}: command not found"
+
+    # -- out-of-band (ICE Box power / console path) ---------------------
+    def _out_of_band(self, verb: str, words, node
+                     ) -> Generator[object, object, CommandOutcome]:
+        located = self._locate(node)
+        if located is None:
+            return 1, "no ICE Box path"
+        box, port = located
+
+        if verb == "console":
+            lines = int(words[1]) if len(words) > 1 else 5
+            tail = box.console(port).tail(lines)
+            return 0, "\n".join(tail) if tail else "<console empty>"
+
+        if verb == "power":
+            sub = words[1].lower() if len(words) > 1 else "status"
+            if sub == "on":
+                box.power.power_on(port)
+                return 0, "outlet on"
+            if sub == "off":
+                box.power.power_off(port)
+                return 0, "outlet off"
+            if sub == "cycle":
+                yield box.power.power_cycle(port)
+                return 0, "outlet cycled"
+            if sub == "status":
+                return 0, "on" if box.power.outlet(port).on else "off"
+            return 2, f"unknown power subcommand {sub!r}"
+
+        # reboot: reset (or power on) through the box, then wait for the
+        # node to come back to multi-user mode.
+        if node.state is NodeState.OFF:
+            box.power.power_on(port)
+        elif node.state is NodeState.BURNED:
+            return 1, "node burned; RMA required"
+        else:
+            if not box.reset_line(port).assert_reset():
+                return 1, "reset failed: node has no power"
+        state = yield node.wait_state(NodeState.UP, NodeState.CRASHED,
+                                      NodeState.BURNED)
+        if state is NodeState.UP:
+            return 0, "rebooted"
+        return 1, f"reboot ended in state {state.value}"

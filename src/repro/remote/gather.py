@@ -1,0 +1,74 @@
+"""Output gathering: merge identical per-node outputs under folded keys.
+
+The ``clush -b`` / ``clubak`` display trick: on a healthy cluster almost
+every node prints the same thing, so instead of N lines the operator reads
+one line per *distinct* output, keyed by the folded NodeSet that produced
+it::
+
+    node[1-399]: ok
+    node400: timed out after 30s
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.remote.nodeset import NodeSet
+from repro.remote.worker import WorkerResult
+
+__all__ = ["GatheredGroup", "gather", "format_gathered"]
+
+
+@dataclass(frozen=True)
+class GatheredGroup:
+    """All nodes that produced one identical (status, rc, output)."""
+
+    nodes: NodeSet
+    status: str
+    rc: Optional[int]
+    output: str
+
+    @property
+    def label(self) -> str:
+        """What to print after the folded key."""
+        if self.output:
+            return self.output
+        return self.status if self.rc in (0, None) else f"rc={self.rc}"
+
+
+def gather(results: Iterable[WorkerResult]) -> List[GatheredGroup]:
+    """Merge results by identical (status, rc, output).
+
+    Groups come back sorted by their first node name so output is stable
+    across runs with the same seed.
+    """
+    buckets: Dict[Tuple[str, Optional[int], str], List[str]] = {}
+    for result in results:
+        key = (result.status, result.rc, result.output)
+        buckets.setdefault(key, []).append(result.node)
+    groups = [GatheredGroup(nodes=NodeSet(nodes), status=status, rc=rc,
+                            output=output)
+              for (status, rc, output), nodes in buckets.items()]
+    return sorted(groups, key=lambda g: next(iter(g.nodes), ""))
+
+
+def format_gathered(groups: Iterable[GatheredGroup], *,
+                    sep: str = ": ") -> str:
+    """One line per distinct output: ``<folded-nodeset><sep><output>``.
+
+    Multi-line outputs get a dshbak-style header block instead.
+    """
+    lines: List[str] = []
+    for group in groups:
+        folded = group.nodes.fold()
+        label = group.label
+        if "\n" in label:
+            bar = "-" * max(len(folded) + 10, 20)
+            lines.append(bar)
+            lines.append(f"{folded} ({len(group.nodes)} nodes)")
+            lines.append(bar)
+            lines.append(label)
+        else:
+            lines.append(f"{folded}{sep}{label}")
+    return "\n".join(lines)

@@ -1,0 +1,374 @@
+"""NodeSet: compact node-range algebra (the ClusterShell ``nodeset`` model).
+
+Cluster operations address *sets* of nodes, not individual hostnames, and
+at scale the human-readable form is the folded range syntax::
+
+    node[001-400,412]       ->  node001, node002, ..., node400, node412
+    rack[1-3]-n[08-10]      ->  rejected (one bracket pair per pattern)
+    @rack3                  ->  resolved through a GroupResolver
+
+A :class:`NodeSet` is an immutable, hashable value type.  Set algebra
+(``| & - ^``), numeric-order iteration, ``split()`` and fold/expand all
+agree exactly with Python ``set`` semantics over the expanded names —
+``node08`` and ``node8`` are *different* nodes (zero padding is part of
+the name and survives a fold/expand round-trip).
+
+Internally every name is decomposed around its **last** run of digits::
+
+    "cluster-n0042"  ->  key ("cluster-n", ""), item (width=4, index=42)
+
+The (width, index) pair maps bijectively onto the digit string, which is
+what makes mixed-padding sets unambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List,
+                    Mapping, Optional, Tuple, Union)
+
+__all__ = ["NodeSet", "NodeSetParseError", "GroupResolver"]
+
+#: last digit run in a name: (prefix)(digits)(non-digit suffix)
+_NAME_RE = re.compile(r"^(.*?)(\d+)(\D*)$")
+#: one bracketed pattern: (prefix)[(ranges)](non-digit suffix)
+_PATTERN_RE = re.compile(r"^([^\[\]]*)\[([^\[\]]*)\]([^\[\]\d]*)$")
+#: one subrange inside brackets: start[-end[/step]]
+_RANGE_RE = re.compile(r"^(\d+)(?:-(\d+)(?:/(\d+))?)?$")
+
+#: (prefix, suffix) -> frozenset of (width, index)
+_Key = Tuple[str, str]
+_Item = Tuple[int, int]
+
+
+class NodeSetParseError(ValueError):
+    """Raised when a nodeset pattern cannot be parsed."""
+
+
+class GroupResolver:
+    """Resolves ``@group`` references to member node names.
+
+    ``source`` is either a mapping ``{group_name: iterable_of_names}`` or a
+    callable ``name -> iterable_of_names | None`` (callables let providers
+    compute volatile groups, e.g. ``@up``, at resolution time).
+    ``names`` lists the advertised groups (for ``nodeset -l``-style
+    listings); callable sources should pass it explicitly.
+    """
+
+    def __init__(self,
+                 source: Union[Mapping[str, Iterable[str]],
+                               Callable[[str], Optional[Iterable[str]]]],
+                 names: Optional[Iterable[str]] = None):
+        if callable(source):
+            self._lookup = source
+            self._names = sorted(names) if names is not None else []
+        else:
+            mapping = {str(k): list(v) for k, v in source.items()}
+            self._lookup = mapping.get
+            self._names = sorted(mapping)
+
+    def resolve(self, group: str) -> List[str]:
+        members = self._lookup(group)
+        if members is None:
+            raise NodeSetParseError(f"unknown group '@{group}'")
+        return list(members)
+
+    def group_names(self) -> List[str]:
+        return list(self._names)
+
+
+def _split_top_level(pattern: str) -> List[str]:
+    """Split on commas that are not inside brackets."""
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(pattern):
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise NodeSetParseError(f"unbalanced ']' in {pattern!r}")
+        elif ch == "," and depth == 0:
+            parts.append(pattern[start:i])
+            start = i + 1
+    if depth != 0:
+        raise NodeSetParseError(f"unbalanced '[' in {pattern!r}")
+    parts.append(pattern[start:])
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _decompose(name: str) -> Tuple[_Key, Optional[_Item]]:
+    match = _NAME_RE.match(name)
+    if match is None:
+        return (name, ""), None  # no digits: scalar
+    prefix, digits, suffix = match.groups()
+    return (prefix, suffix), (len(digits), int(digits))
+
+
+def _item_str(item: _Item) -> str:
+    width, index = item
+    return str(index).zfill(width)
+
+
+def _explicit_pad(item: _Item) -> Optional[int]:
+    """The zero-padding this item *requires*, or None if natural-width."""
+    width, index = item
+    return width if width > len(str(index)) else None
+
+
+def _fold_items(items: Iterable[_Item]) -> List[str]:
+    """Fold (width, index) items into range strings like ``001-400``."""
+    ordered = sorted(items, key=lambda it: (it[1], it[0]))
+    out: List[str] = []
+    run: List[_Item] = []
+    run_pad: Optional[int] = None
+
+    def flush() -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            out.append(_item_str(run[0]))
+        else:
+            out.append(f"{_item_str(run[0])}-{_item_str(run[-1])}")
+        run.clear()
+
+    for item in ordered:
+        pad = _explicit_pad(item)
+        if run:
+            compatible = item[1] == run[-1][1] + 1
+            if compatible:
+                if run_pad is None and pad is not None:
+                    # adopt the pad only if earlier natural items render
+                    # identically under it (their digits are >= pad wide)
+                    compatible = len(str(run[0][1])) >= pad
+                elif run_pad is not None and pad is None:
+                    compatible = len(str(item[1])) >= run_pad
+                elif run_pad is not None and pad is not None:
+                    compatible = run_pad == pad
+            if not compatible:
+                flush()
+                run_pad = None
+        run.append(item)
+        if pad is not None:
+            run_pad = pad
+    flush()
+    return out
+
+
+class NodeSet:
+    """Immutable set of node names with folded-range parsing and algebra."""
+
+    __slots__ = ("_groups", "_scalars", "_hash")
+
+    def __init__(self,
+                 nodes: Union[None, str, "NodeSet", Iterable[str]] = None,
+                 *, resolver: Optional[GroupResolver] = None):
+        groups: Dict[_Key, set] = {}
+        scalars: set = set()
+        if nodes is None or nodes == "":
+            pass
+        elif isinstance(nodes, NodeSet):
+            groups = {k: set(v) for k, v in nodes._groups.items()}
+            scalars = set(nodes._scalars)
+        elif isinstance(nodes, str):
+            self._parse(nodes, groups, scalars, resolver, depth=0)
+        else:
+            for name in nodes:
+                self._add_name(str(name), groups, scalars)
+        self._groups: Dict[_Key, FrozenSet[_Item]] = {
+            k: frozenset(v) for k, v in groups.items() if v}
+        self._scalars: FrozenSet[str] = frozenset(scalars)
+        self._hash: Optional[int] = None
+
+    # -- parsing --------------------------------------------------------
+    @staticmethod
+    def _add_name(name: str, groups: Dict[_Key, set], scalars: set) -> None:
+        if not name:
+            raise NodeSetParseError("empty node name")
+        key, item = _decompose(name)
+        if item is None:
+            scalars.add(name)
+        else:
+            groups.setdefault(key, set()).add(item)
+
+    def _parse(self, pattern: str, groups: Dict[_Key, set], scalars: set,
+               resolver: Optional[GroupResolver], depth: int) -> None:
+        if depth > 8:
+            raise NodeSetParseError("group references nested too deeply")
+        for part in _split_top_level(pattern):
+            if part.startswith("@"):
+                if resolver is None:
+                    raise NodeSetParseError(
+                        f"group reference {part!r} but no resolver given")
+                for name in resolver.resolve(part[1:]):
+                    if name.startswith("@") or "[" in name:
+                        self._parse(name, groups, scalars, resolver,
+                                    depth + 1)
+                    else:
+                        self._add_name(name, groups, scalars)
+            elif "[" in part or "]" in part:
+                self._parse_ranges(part, groups)
+            else:
+                self._add_name(part, groups, scalars)
+
+    @staticmethod
+    def _parse_ranges(part: str, groups: Dict[_Key, set]) -> None:
+        match = _PATTERN_RE.match(part)
+        if match is None:
+            raise NodeSetParseError(
+                f"bad pattern {part!r} (one bracket pair, numeric ranges)")
+        prefix, ranges, suffix = match.groups()
+        key = (prefix, suffix)
+        bucket = groups.setdefault(key, set())
+        for sub in ranges.split(","):
+            sub = sub.strip()
+            rmatch = _RANGE_RE.match(sub)
+            if rmatch is None:
+                raise NodeSetParseError(f"bad range {sub!r} in {part!r}")
+            start_s, end_s, step_s = rmatch.groups()
+            start = int(start_s)
+            end = int(end_s) if end_s is not None else start
+            step = int(step_s) if step_s is not None else 1
+            if step < 1:
+                raise NodeSetParseError(f"bad step in {sub!r}")
+            if end < start:
+                raise NodeSetParseError(f"reversed range {sub!r}")
+            pad = len(start_s) if len(start_s) > len(str(start)) else 0
+            for index in range(start, end + 1, step):
+                bucket.add((max(pad, len(str(index))), index))
+
+    # -- views ----------------------------------------------------------
+    def _sorted_keys(self) -> List[_Key]:
+        keys: List[Tuple[str, str, int]] = [
+            (p, s, 0) for (p, s) in self._groups]
+        keys += [(name, "", 1) for name in self._scalars]
+        return [(p, s) if kind == 0 else (p,)  # type: ignore[misc]
+                for p, s, kind in sorted(keys)]
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate names: patterns sorted by name, indices numerically."""
+        for key in self._sorted_keys():
+            if len(key) == 1:  # scalar
+                yield key[0]
+            else:
+                prefix, suffix = key
+                for item in sorted(self._groups[key],
+                                   key=lambda it: (it[1], it[0])):
+                    yield f"{prefix}{_item_str(item)}{suffix}"
+
+    def expand(self) -> List[str]:
+        """All names, in numeric order (``nodeset -e``)."""
+        return list(self)
+
+    def fold(self) -> str:
+        """Compact string form (``nodeset -f``)."""
+        parts: List[str] = []
+        for key in self._sorted_keys():
+            if len(key) == 1:
+                parts.append(key[0])
+                continue
+            prefix, suffix = key
+            ranges = _fold_items(self._groups[key])
+            if len(ranges) == 1 and "-" not in ranges[0]:
+                parts.append(f"{prefix}{ranges[0]}{suffix}")
+            else:
+                parts.append(f"{prefix}[{','.join(ranges)}]{suffix}")
+        return ",".join(parts)
+
+    def __str__(self) -> str:
+        return self.fold()
+
+    def __repr__(self) -> str:
+        return f"NodeSet({self.fold()!r})"
+
+    def __len__(self) -> int:
+        return (sum(len(v) for v in self._groups.values())
+                + len(self._scalars))
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, NodeSet):
+            return name.issubset(self)
+        if not isinstance(name, str):
+            return False
+        key, item = _decompose(name)
+        if item is None:
+            return name in self._scalars
+        return item in self._groups.get(key, frozenset())
+
+    # -- algebra --------------------------------------------------------
+    def _binary(self, other: "NodeSet",
+                op: Callable[[frozenset, frozenset], frozenset]
+                ) -> "NodeSet":
+        if not isinstance(other, NodeSet):
+            raise TypeError(f"expected NodeSet, got {type(other).__name__}")
+        result = NodeSet()
+        groups: Dict[_Key, FrozenSet[_Item]] = {}
+        for key in set(self._groups) | set(other._groups):
+            merged = op(self._groups.get(key, frozenset()),
+                        other._groups.get(key, frozenset()))
+            if merged:
+                groups[key] = frozenset(merged)
+        result._groups = groups
+        result._scalars = frozenset(op(self._scalars, other._scalars))
+        return result
+
+    def union(self, other: "NodeSet") -> "NodeSet":
+        return self._binary(other, frozenset.union)
+
+    def intersection(self, other: "NodeSet") -> "NodeSet":
+        return self._binary(other, frozenset.intersection)
+
+    def difference(self, other: "NodeSet") -> "NodeSet":
+        return self._binary(other, frozenset.difference)
+
+    def symmetric_difference(self, other: "NodeSet") -> "NodeSet":
+        return self._binary(other, frozenset.symmetric_difference)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+
+    def issubset(self, other: "NodeSet") -> bool:
+        return len(self - other) == 0
+
+    def issuperset(self, other: "NodeSet") -> bool:
+        return other.issubset(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeSet):
+            return NotImplemented
+        return (self._groups == other._groups
+                and self._scalars == other._scalars)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((frozenset(self._groups.items()),
+                               self._scalars))
+        return self._hash
+
+    # -- partitioning ---------------------------------------------------
+    def split(self, n: int) -> List["NodeSet"]:
+        """Partition into at most ``n`` contiguous NodeSets of near-equal
+        size (sizes differ by at most one; empty chunks are dropped)."""
+        if n < 1:
+            raise ValueError("split requires n >= 1")
+        names = self.expand()
+        total = len(names)
+        if total == 0:
+            return []
+        n = min(n, total)
+        base, extra = divmod(total, n)
+        chunks: List[NodeSet] = []
+        start = 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            chunks.append(NodeSet(names[start:start + size]))
+            start += size
+        return chunks
+
+    @classmethod
+    def fromlist(cls, names: Iterable[str]) -> "NodeSet":
+        return cls(names)

@@ -1,0 +1,111 @@
+"""The per-node worker process of the fan-out engine.
+
+One worker per target node: wait for a slot in the run's fan-out window,
+then drive command attempts with a per-attempt timeout and bounded
+retry-with-exponential-backoff.  A worker never lets an exception escape —
+every ending is recorded as a :class:`WorkerResult` with one of the
+statuses below, so a single bad node can't take down the whole sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from repro.sim import Interrupt, ProcessKilled
+
+__all__ = ["WorkerResult", "node_worker"]
+
+#: terminal worker statuses
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"        # command ran, nonzero rc (after retries)
+STATUS_TIMEOUT = "timeout"      # attempt exceeded the per-node timeout
+STATUS_ERROR = "error"          # command raised an exception
+STATUS_ABORTED = "aborted"      # run aborted before/while this node ran
+
+
+@dataclass
+class WorkerResult:
+    """Outcome of one node's command execution."""
+
+    node: str
+    status: str
+    rc: Optional[int]
+    output: str
+    attempts: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def _attempt(run, hostname: str
+             ) -> Generator[object, object, Tuple[str, Optional[int], str]]:
+    """One command attempt; returns (status, rc, output)."""
+    kernel = run.engine.kernel
+    proc = kernel.process(run.command_generator(hostname),
+                          name=f"cmd:{hostname}")
+    try:
+        if run.timeout is not None:
+            fired = yield kernel.any_of([proc, kernel.timeout(run.timeout)])
+            if proc not in fired:
+                proc.kill()
+                return (STATUS_TIMEOUT, None,
+                        f"timed out after {run.timeout:g}s")
+            outcome = proc.value
+        else:
+            outcome = yield proc
+        rc, output = outcome
+        return (STATUS_OK if rc == 0 else STATUS_FAILED, rc, output)
+    except (Interrupt, ProcessKilled):
+        proc.kill()
+        raise
+    except Exception as exc:
+        return (STATUS_ERROR, None, f"command raised: {exc!r}")
+
+
+def node_worker(run, hostname: str) -> Generator[object, object, None]:
+    """Worker generator: window slot -> attempts -> result recording."""
+    kernel = run.engine.kernel
+    result = WorkerResult(node=hostname, status=STATUS_ABORTED, rc=None,
+                          output="run aborted", started_at=kernel.now)
+    slot = run.window.request()
+    counted = False
+    try:
+        yield slot
+        if run.abort_flag:
+            return
+        counted = True
+        run.in_flight += 1
+        run.max_in_flight = max(run.max_in_flight, run.in_flight)
+        result.started_at = kernel.now
+        while True:
+            result.attempts += 1
+            status, rc, output = yield from _attempt(run, hostname)
+            result.status, result.rc, result.output = status, rc, output
+            if (status == STATUS_OK or result.attempts > run.retries
+                    or run.abort_flag):
+                return
+            delay = run.backoff * (2 ** (result.attempts - 1))
+            rng = run.engine.rng
+            if rng is not None:
+                # decorrelate retry storms; draws come from the dedicated
+                # "remote" stream so other subsystems' seeds are untouched
+                delay *= 1.0 + float(rng.uniform(0.0, 0.25))
+            yield kernel.timeout(delay)
+    except Interrupt:
+        result.status = STATUS_ABORTED
+        result.rc = None
+        result.output = "run aborted"
+    finally:
+        if counted:
+            run.in_flight -= 1
+        run.window.release(slot)
+        result.finished_at = kernel.now
+        run._worker_done(result)

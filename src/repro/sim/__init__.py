@@ -29,9 +29,10 @@ from repro.sim.kernel import (
     Timeout,
 )
 from repro.sim.resources import Resource, Store
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RESERVED_STREAMS, RandomStreams
 
 __all__ = [
+    "RESERVED_STREAMS",
     "AllOf",
     "AnyOf",
     "Event",

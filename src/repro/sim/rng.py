@@ -14,7 +14,16 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "RESERVED_STREAMS"]
+
+#: Streams with a repo-wide reserved meaning.  Components must draw from
+#: their own entry so that adding consumers to one subsystem never
+#: perturbs another's schedule; new subsystems register here.
+RESERVED_STREAMS: Dict[str, str] = {
+    "faults": "hardware fault injection (repro.hardware.faults)",
+    "clone": "multicast cloning repair phase (repro.imaging)",
+    "remote": "fan-out engine latency + retry jitter (repro.remote)",
+}
 
 
 class RandomStreams:
@@ -31,7 +40,12 @@ class RandomStreams:
         self._streams: Dict[str, np.random.Generator] = {}
 
     def stream(self, name: str) -> np.random.Generator:
-        """Return the (memoized) generator for ``name``."""
+        """Return the (memoized) generator for ``name``.
+
+        Reserved subsystem streams (see :data:`RESERVED_STREAMS`) resolve
+        through exactly the same derivation — the registry only documents
+        ownership, it does not change the mapping.
+        """
         gen = self._streams.get(name)
         if gen is None:
             key = zlib.crc32(name.encode("utf-8"))

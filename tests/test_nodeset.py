@@ -1,0 +1,206 @@
+"""NodeSet algebra: fold/expand round-trips, set laws, padding edges."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.remote import GroupResolver, NodeSet, NodeSetParseError
+
+# ---------------------------------------------------------------------------
+# strategies: random node names with mixed prefixes and paddings
+# ---------------------------------------------------------------------------
+
+node_names = st.builds(
+    lambda prefix, index, width: f"{prefix}{str(index).zfill(width)}",
+    prefix=st.sampled_from(["node", "n", "rack-a", "io"]),
+    index=st.integers(0, 450),
+    width=st.integers(1, 4),
+)
+
+name_lists = st.lists(node_names, max_size=60)
+
+
+# ---------------------------------------------------------------------------
+# parsing + folding
+# ---------------------------------------------------------------------------
+
+class TestParseAndFold:
+    def test_single_name(self):
+        assert NodeSet("node7").fold() == "node7"
+        assert NodeSet("node7").expand() == ["node7"]
+
+    def test_scalar_name_without_digits(self):
+        ns = NodeSet("mgmt")
+        assert ns.expand() == ["mgmt"]
+        assert "mgmt" in ns
+
+    def test_basic_range(self):
+        ns = NodeSet("node[001-400,412]")
+        assert len(ns) == 401
+        assert ns.expand()[0] == "node001"
+        assert ns.expand()[-1] == "node412"
+        assert ns.fold() == "node[001-400,412]"
+
+    def test_expand_fold_round_trip_exact(self):
+        ns = NodeSet("node[001-400]")
+        assert NodeSet(ns.expand()).fold() == "node[001-400]"
+
+    def test_stepped_range(self):
+        assert NodeSet("node[0-8/2]").expand() == [
+            "node0", "node2", "node4", "node6", "node8"]
+
+    def test_multiple_patterns(self):
+        ns = NodeSet("node[1-3],io[1-2],mgmt")
+        assert len(ns) == 6
+        assert ns.fold() == "io[1-2],mgmt,node[1-3]"
+
+    def test_suffix_preserved(self):
+        ns = NodeSet("node[1-3]-ib")
+        assert ns.expand() == ["node1-ib", "node2-ib", "node3-ib"]
+        assert ns.fold() == "node[1-3]-ib"
+
+    def test_zero_padding_edge_08_10(self):
+        # the classic: 08,09 explicitly padded, 10 naturally two digits
+        ns = NodeSet("node[08-10]")
+        assert ns.expand() == ["node08", "node09", "node10"]
+        assert ns.fold() == "node[08-10]"
+        assert NodeSet(["node08", "node09", "node10"]) == ns
+
+    def test_padding_is_part_of_the_name(self):
+        ns = NodeSet("node1,node01,node001")
+        assert len(ns) == 3
+        assert set(ns.expand()) == {"node1", "node01", "node001"}
+        assert NodeSet(ns.fold()) == ns
+
+    def test_pad_break_does_not_merge(self):
+        # node9 (natural) cannot extend into an explicitly padded 010
+        ns = NodeSet(["node9", "node010"])
+        assert ns.fold() == "node[9,010]"
+        assert NodeSet(ns.fold()) == ns
+
+    def test_pad_overflow_keeps_folding(self):
+        # 098-102: pad 3 holds while the index outgrows it
+        ns = NodeSet("node[098-102]")
+        assert ns.expand() == ["node098", "node099", "node100",
+                               "node101", "node102"]
+        assert ns.fold() == "node[098-102]"
+
+    def test_empty(self):
+        assert len(NodeSet()) == 0
+        assert NodeSet().fold() == ""
+        assert not NodeSet("")
+
+    def test_parse_errors(self):
+        for bad in ("node[1-", "node[a-b]", "node[3-1]", "node[1]x[2]",
+                    "node[1-5/0]"):
+            with pytest.raises((NodeSetParseError, ValueError)):
+                NodeSet(bad)
+
+    def test_singleton_bracket_folds_flat(self):
+        assert NodeSet("node[7]").fold() == "node7"
+
+    @given(name_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_property_fold_expand_round_trip(self, names):
+        ns = NodeSet(names)
+        assert sorted(ns.expand()) == sorted(set(names))
+        assert NodeSet(ns.fold()) == ns
+        assert len(ns) == len(set(names))
+
+
+# ---------------------------------------------------------------------------
+# algebra: must match Python set semantics on the expanded names
+# ---------------------------------------------------------------------------
+
+class TestAlgebra:
+    @given(name_lists, name_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_property_ops_match_set_semantics(self, left, right):
+        a, b = NodeSet(left), NodeSet(right)
+        sa, sb = set(a.expand()), set(b.expand())
+        assert set((a | b).expand()) == sa | sb
+        assert set((a & b).expand()) == sa & sb
+        assert set((a - b).expand()) == sa - sb
+        assert set((a ^ b).expand()) == sa ^ sb
+
+    @given(name_lists, name_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_property_xor_laws(self, left, right):
+        a, b = NodeSet(left), NodeSet(right)
+        assert (a ^ b) == (b ^ a)
+        assert (a ^ b) == (a | b) - (a & b)
+        assert (a ^ a) == NodeSet()
+
+    def test_clustershell_doc_examples(self):
+        assert (NodeSet("node[0-7,32-159]")
+                | NodeSet("node[160-163]")).fold() == "node[0-7,32-163]"
+        assert (NodeSet("node[32-159]")
+                - NodeSet("node33")).fold() == "node[32,34-159]"
+        assert (NodeSet("node[32-159]")
+                & NodeSet("node[0-7,20-21,32,156-159]")
+                ).fold() == "node[32,156-159]"
+        assert (NodeSet("node[33-159]")
+                ^ NodeSet("node[32-33,156-159]")).fold() == "node[32,34-155]"
+
+    def test_subset_superset_contains(self):
+        big, small = NodeSet("n[1-100]"), NodeSet("n[40-60]")
+        assert small.issubset(big) and big.issuperset(small)
+        assert small in big
+        assert "n42" in big and "n101" not in big
+        assert 42 not in big  # only strings/NodeSets can be members
+
+    def test_immutability_and_hash(self):
+        a, b = NodeSet("n[1-3]"), NodeSet(["n1", "n2", "n3"])
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+# ---------------------------------------------------------------------------
+# iteration order, split, groups
+# ---------------------------------------------------------------------------
+
+class TestOrderingSplitGroups:
+    def test_numeric_iteration_order(self):
+        ns = NodeSet("n[9-11,2]")
+        assert list(ns) == ["n2", "n9", "n10", "n11"]
+
+    @given(name_lists, st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_property_split_partitions(self, names, n):
+        ns = NodeSet(names)
+        chunks = ns.split(n)
+        assert len(chunks) <= n
+        rebuilt = NodeSet()
+        for chunk in chunks:
+            assert len(chunk) > 0
+            assert not (rebuilt & chunk)  # disjoint
+            rebuilt = rebuilt | chunk
+        assert rebuilt == ns
+        if chunks:
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_group_resolution(self):
+        resolver = GroupResolver({"rack3": ["n30", "n31"],
+                                  "all": ["n[1-40]"]})
+        assert NodeSet("@rack3", resolver=resolver).fold() == "n[30-31]"
+        assert len(NodeSet("@all", resolver=resolver)) == 40
+        with pytest.raises(NodeSetParseError):
+            NodeSet("@nope", resolver=resolver)
+        with pytest.raises(NodeSetParseError):
+            NodeSet("@rack3")  # no resolver supplied
+
+    def test_cluster_group_provider(self):
+        from repro.core.cluster import Cluster
+        from repro.sim import SimKernel
+
+        cluster = Cluster(SimKernel(), 25)
+        resolver = cluster.group_resolver()
+        assert "all" in resolver.group_names()
+        assert len(NodeSet("@all", resolver=resolver)) == 25
+        rack1 = NodeSet("@rack1", resolver=resolver)
+        assert rack1.fold() == "cluster-n[0010-0019]"
+        assert cluster.rack_name("cluster-n0010") == "rack1"
+        # state groups resolve live: nothing is up before boot
+        assert len(NodeSet("@up", resolver=resolver)) == 0
+        assert len(NodeSet("@off", resolver=resolver)) == 25

@@ -1,0 +1,293 @@
+"""TaskEngine: fan-out window, timeout/retry, gathering, event wiring."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.events.actions import (ActionContext, ActionDispatcher,
+                                  RemoteCommandAction)
+from repro.hardware.node import NodeState
+from repro.remote import (NodeSet, SimCommandTarget, TaskEngine,
+                          format_gathered, gather)
+from repro.sim import RandomStreams, SimKernel
+
+
+def make_engine(kernel, **kw):
+    kw.setdefault("rng", RandomStreams(99)("remote"))
+    return TaskEngine(kernel, **kw)
+
+
+def timed_command(kernel, duration=1.0, rc=0, output="ok"):
+    """A callable command taking ``duration`` simulated seconds."""
+    def command(_node):
+        yield kernel.timeout(duration)
+        return rc, output
+    return command
+
+
+class TestFanOutWindow:
+    def test_window_never_exceeded_400_nodes(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel)
+        task = engine.run_sync(timed_command(kernel),
+                               NodeSet("node[001-400]"), fanout=64)
+        assert task.complete and task.ok
+        assert len(task.results) == 400
+        assert task.max_in_flight == 64  # saturated, never exceeded
+
+    @pytest.mark.parametrize("fanout", [1, 16, 256])
+    def test_makespan_scales_with_window(self, fanout):
+        kernel = SimKernel()
+        engine = make_engine(kernel)
+        task = engine.run_sync(timed_command(kernel, duration=2.0),
+                               NodeSet("node[1-64]"), fanout=fanout)
+        waves = -(-64 // fanout)  # ceil
+        assert task.makespan == pytest.approx(2.0 * waves)
+        assert task.max_in_flight == min(fanout, 64)
+
+    def test_deterministic_for_fixed_seed(self):
+        outcomes = []
+        for _ in range(2):
+            kernel = SimKernel()
+            cluster = Cluster(kernel, 20)
+            cluster.boot_all()
+            engine = TaskEngine(kernel, cluster=cluster,
+                                rng=cluster.streams("remote"))
+            task = engine.run_sync("uname -r", "@all", fanout=4)
+            outcomes.append((task.makespan, task.report(),
+                             sorted((r.node, r.status, r.attempts)
+                                    for r in task.results.values())))
+        assert outcomes[0] == outcomes[1]
+
+    def test_empty_nodeset_completes_immediately(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel)
+        task = engine.run_sync(timed_command(kernel), NodeSet())
+        assert task.complete and task.ok and task.makespan == 0.0
+
+
+class TestTimeoutRetry:
+    def test_timeout_status_and_kill(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel)
+        task = engine.run_sync(timed_command(kernel, duration=100.0),
+                               NodeSet("n[1-5]"), timeout=10.0)
+        assert task.counts() == {"timeout": 5}
+        assert task.makespan == pytest.approx(10.0)
+        assert all(r.rc is None for r in task.results.values())
+
+    def test_retry_counts_and_backoff(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel, rng=None)  # no jitter: exact schedule
+        attempts_log = []
+
+        def flaky(node):
+            attempts_log.append((node, kernel.now))
+            yield kernel.timeout(1.0)
+            return (0, "ok") if len([a for a in attempts_log
+                                     if a[0] == node]) >= 3 else (1, "eio")
+
+        task = engine.run_sync(flaky, NodeSet("n1"), retries=2, backoff=2.0)
+        result = task.results["n1"]
+        assert result.ok and result.attempts == 3
+        # attempt starts: t=0; fail at 1 + backoff 2 -> 3; fail at 4 + 4 -> 8
+        starts = [t for _n, t in attempts_log]
+        assert starts == pytest.approx([0.0, 3.0, 8.0])
+
+    def test_retries_exhausted_is_failed(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel)
+        task = engine.run_sync(timed_command(kernel, rc=1, output="eio"),
+                               NodeSet("n[1-3]"), retries=2)
+        assert task.counts() == {"failed": 3}
+        assert all(r.attempts == 3 for r in task.results.values())
+        assert task.total_attempts == 9
+
+    def test_command_exception_is_error_not_crash(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel)
+
+        def boom(_node):
+            yield kernel.timeout(0.5)
+            raise RuntimeError("kaboom")
+
+        task = engine.run_sync(boom, NodeSet("n[1-4]"))
+        assert task.counts() == {"error": 4}
+        assert "kaboom" in task.results["n1"].output
+
+    def test_abort_policy_cancels_remaining(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel, rng=None)
+
+        def fail_first(node):
+            yield kernel.timeout(1.0 if node == "n01" else 50.0)
+            return (1, "dead") if node == "n01" else (0, "ok")
+
+        task = engine.run_sync(fail_first, NodeSet("n[01-20]"), fanout=4,
+                               failure_policy="abort")
+        counts = task.counts()
+        assert counts["failed"] == 1
+        assert counts.get("aborted", 0) >= 15  # queued + in-flight killed
+        assert task.makespan < 50.0
+        assert task.nodes_with_status("failed").fold() == "n01"
+
+
+class TestGathering:
+    def test_merges_identical_output_under_folded_key(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel, rng=None)
+
+        def mixed(node):
+            yield kernel.timeout(1.0)
+            return (1, "eio") if node == "n400" else (0, "ok")
+
+        task = engine.run_sync(mixed, NodeSet("n[1-400]"), fanout=64)
+        groups = task.gather()
+        assert len(groups) == 2
+        by_fold = {g.nodes.fold(): g for g in groups}
+        assert by_fold["n[1-399]"].label == "ok"
+        assert by_fold["n400"].label == "eio"
+        report = task.report()
+        assert "n[1-399]: ok" in report and "n400: eio" in report
+
+    def test_gather_includes_timeouts(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel, rng=None)
+
+        def slow_tail(node):
+            yield kernel.timeout(100.0 if node == "n5" else 1.0)
+            return 0, "ok"
+
+        task = engine.run_sync(slow_tail, NodeSet("n[1-5]"), timeout=10.0)
+        by_fold = {g.nodes.fold(): g for g in task.gather()}
+        assert by_fold["n[1-4]"].status == "ok"
+        assert by_fold["n5"].status == "timeout"
+
+    def test_multiline_output_block_format(self):
+        from repro.remote.worker import WorkerResult
+
+        results = [WorkerResult(node="n1", status="ok", rc=0,
+                                output="line1\nline2")]
+        text = format_gathered(gather(results))
+        assert "n1 (1 nodes)" in text and "line1" in text
+
+
+class TestClusterIntegration:
+    @pytest.fixture
+    def cwx(self):
+        from repro import ClusterWorX
+        cwx = ClusterWorX(n_nodes=20, seed=11, monitor_interval=30.0)
+        cwx.start()
+        return cwx
+
+    def test_in_band_needs_live_os(self, cwx):
+        victim = cwx.cluster.hostnames[0]
+        cwx.cluster.node(victim).crash("test")
+        task = cwx.remote_run("uname -r")
+        assert task.results[victim].rc == 255
+        assert sum(1 for r in task.results.values() if r.ok) == 19
+
+    def test_icebox_reboot_path_works_on_crashed_nodes(self, cwx):
+        victim = cwx.cluster.hostnames[3]
+        cwx.cluster.node(victim).crash("test")
+        task = cwx.remote_run("reboot", "@rack0")
+        assert task.ok and len(task.nodes) == 10
+        assert cwx.cluster.node(victim).state is NodeState.UP
+
+    def test_power_commands_through_icebox(self, cwx):
+        task = cwx.remote_run("power off", "@rack1")
+        assert task.ok
+        down = cwx.nodeset("@off")
+        assert cwx.nodeset("@rack1").issubset(down)
+
+    def test_facade_nodeset_groups(self, cwx):
+        assert len(cwx.nodeset("@all")) == 20
+        assert len(cwx.nodeset("@rack1")) == 10
+        assert cwx.nodeset("@up") == cwx.nodeset("@all")
+
+
+class TestEventWiring:
+    def test_threshold_event_reboots_whole_rack(self):
+        from repro import ClusterWorX
+        from repro.hardware import WorkloadSegment
+
+        cwx = ClusterWorX(n_nodes=30, seed=3, monitor_interval=5.0)
+        cwx.start()
+        action = RemoteCommandAction("reboot", "@{rack}")
+        cwx.server.dispatcher.register("reboot_rack", action)
+        cwx.add_threshold("overheat", metric="cpu_temp_c", op=">",
+                          threshold=60.0, action="reboot_rack",
+                          severity="critical")
+        for node in cwx.cluster.nodes:
+            node.workload.add(WorkloadSegment(start=cwx.kernel.now,
+                                              duration=1e5, cpu=0.9))
+        cwx.run(30)
+        victim = cwx.cluster.hostnames[12]  # lives in rack1
+        before = {h: cwx.cluster.node(h).boot_completed_at
+                  for h in cwx.cluster.hostnames}
+        cwx.inject_fault(victim, "fan_failure")
+        cwx.run(2500)
+
+        fired = [e for e in cwx.fired_events() if e.rule == "overheat"]
+        assert fired and fired[0].action_ok
+        assert len(action.runs) >= 1
+        task = action.runs[0]
+        assert task.complete
+        assert task.nodes == cwx.nodeset("@rack1")
+        rack1 = [h for h in cwx.cluster.hostnames
+                 if cwx.cluster.rack_name(h) == "rack1"]
+        rebooted = [h for h in rack1
+                    if cwx.cluster.node(h).boot_completed_at != before[h]]
+        assert len(rebooted) == 10  # one engine run, the whole rack
+
+    def test_legacy_single_arg_plugins_still_work(self, kernel):
+        from repro.hardware.node import SimulatedNode
+
+        dispatcher = ActionDispatcher()
+        seen = []
+        dispatcher.register("legacy", lambda n: seen.append(n.hostname))
+        node = SimulatedNode(kernel, "n1", node_id=1)
+        record = dispatcher.execute("legacy", node, 0.0)
+        assert record.ok and seen == ["n1"]
+
+    def test_context_aware_plugin_receives_context(self, kernel):
+        from repro.hardware.node import SimulatedNode
+
+        context = ActionContext(cluster="the-cluster")
+        dispatcher = ActionDispatcher(context=context)
+        seen = []
+        dispatcher.register("ctx", lambda n, ctx: seen.append(ctx.cluster))
+        dispatcher.execute("ctx", SimulatedNode(kernel, "n1", node_id=1),
+                           0.0)
+        assert seen == ["the-cluster"]
+
+    def test_remote_action_without_engine_fails_cleanly(self, kernel):
+        from repro.hardware.node import SimulatedNode
+
+        dispatcher = ActionDispatcher()  # no context -> no engine
+        dispatcher.register("sweep", RemoteCommandAction("uname"))
+        record = dispatcher.execute(
+            "sweep", SimulatedNode(kernel, "n1", node_id=1), 0.0)
+        assert not record.ok and "TaskEngine" in record.detail
+
+
+class TestCLI:
+    def test_nodeset_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["nodeset", "node[001-400,412]", "-c"]) == 0
+        assert capsys.readouterr().out.strip() == "401"
+        assert main(["nodeset", "node1", "node3", "node2"]) == 0
+        assert capsys.readouterr().out.strip() == "node[1-3]"
+        assert main(["nodeset", "node[32-159]", "-x", "node33"]) == 0
+        assert capsys.readouterr().out.strip() == "node[32,34-159]"
+        assert main(["nodeset", "bad[", "-c"]) == 2
+
+    def test_exec_subcommand(self, capsys):
+        from repro.cli import main
+
+        rc = main(["exec", "--nodes", "12", "--fanout", "4",
+                   "--", "echo", "hi"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cluster-n[0000-0011]: hi" in out
+        assert "fanout 4" in out

@@ -1,0 +1,21 @@
+"""Repo tooling smoke checks, run as part of the tier-1 suite."""
+
+import compileall
+import pathlib
+import sys
+
+
+def test_compileall_src():
+    """Every module under src/ must byte-compile cleanly."""
+    src = pathlib.Path(__file__).resolve().parents[1] / "src"
+    assert src.is_dir()
+    ok = compileall.compile_dir(str(src), quiet=2, force=False)
+    assert ok, "python -m compileall src failed"
+
+
+def test_package_exports_remote_subsystem():
+    """The repro.remote public surface stays importable from one place."""
+    import repro.remote as remote
+
+    for name in remote.__all__:
+        assert getattr(remote, name) is not None
