@@ -1,0 +1,153 @@
+"""E14 — the tier-2 query path (§5.1).
+
+Paper: "The 3-tier design allows multiple clients to access the
+ClusterWorX server at the same time without conflict."  Clients poll the
+main monitoring screen's cluster rollup and the all-nodes view
+continuously, so both must cost (near) nothing per query regardless of
+cluster size.  This experiment measures the incremental
+:class:`~repro.core.statestore.StateStore` against the legacy read path
+it replaced: a full per-node rescan for the summary, and a defensive
+whole-state copy for the cluster view.
+"""
+
+import pytest
+
+from _harness import measure_rate, print_table
+from repro.core.statestore import StateStore, Update
+
+CLUSTER_SIZES = (100, 300, 1000)
+
+
+def populated_store(n_nodes):
+    """A store carrying one full frame per node, as after first samples."""
+    store = StateStore()
+    for i in range(n_nodes):
+        host = f"bench-n{i:04d}"
+        store.track(host)
+        store.apply(Update(hostname=host, time=1.0, values={
+            "udp_echo": 1,
+            "cpu_util_pct": float(i % 100),
+            "mem_used_bytes": 100 << 20,
+            "mem_total_bytes": 1 << 30,
+            "cpu_temp_c": 20.0 + (i % 40),
+            "node_state": "up",
+        }))
+    return store
+
+
+def rescan_summary(store):
+    """The legacy O(N) read: walk every node's current values per query
+    (what ``cluster_summary`` did before the incremental rollup)."""
+    snap = store.snapshot()
+    total = len(store.tracked)
+    ups = cpu_n = 0
+    cpu_sum = mem_used = mem_total = 0.0
+    temp_max = 0.0
+    for host in snap:
+        values = snap[host]
+        if values.get("udp_echo") == 1:
+            ups += 1
+        if "cpu_util_pct" in values:
+            cpu_sum += float(values["cpu_util_pct"])
+            cpu_n += 1
+        mem_used += float(values.get("mem_used_bytes", 0))
+        mem_total += float(values.get("mem_total_bytes", 0))
+        if "cpu_temp_c" in values:
+            temp_max = max(temp_max, float(values["cpu_temp_c"]))
+    return {"nodes_total": total, "nodes_up": ups,
+            "nodes_down": total - ups,
+            "cpu_util_mean_pct": cpu_sum / cpu_n if cpu_n else 0.0,
+            "mem_used_bytes": int(mem_used),
+            "mem_total_bytes": int(mem_total),
+            "cpu_temp_max_c": temp_max}
+
+
+def copy_view(store):
+    """The legacy cluster view: a per-query defensive deep copy."""
+    snap = store.snapshot()
+    return {host: dict(snap[host]) for host in snap}
+
+
+def test_summary_incremental_vs_rescan(benchmark):
+    def run():
+        rows = []
+        for n in CLUSTER_SIZES:
+            store = populated_store(n)
+            incremental = measure_rate(store.summary)
+            rescan = measure_rate(lambda: rescan_summary(store))
+            # both read paths agree on every rollup field
+            want = rescan_summary(store)
+            got = store.summary()
+            assert all(got[k] == pytest.approx(v)
+                       for k, v in want.items())
+            rows.append((n, incremental, rescan))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E14a: cluster_summary() queries/s — incremental vs O(N) rescan",
+        ["nodes", "incremental/s", "rescan/s", "speedup"],
+        [[n, f"{inc:,.0f}", f"{scan:,.0f}", f"{inc / scan:.1f}x"]
+         for n, inc, scan in rows])
+    by_size = {n: (inc, scan) for n, inc, scan in rows}
+    # the rollup read pays off where it matters: big clusters
+    inc, scan = by_size[1000]
+    assert inc / scan >= 10.0
+    # and is flat in node count while the rescan degrades linearly
+    flat = by_size[100][0] / by_size[1000][0]
+    assert 0.2 < flat < 5.0
+    assert by_size[100][1] / by_size[1000][1] > 4.0
+
+
+def test_snapshot_cow_vs_full_copy(benchmark):
+    def run():
+        rows = []
+        for n in CLUSTER_SIZES:
+            store = populated_store(n)
+            cow = measure_rate(store.snapshot)
+            copies = measure_rate(lambda: copy_view(store))
+            rows.append((n, cow, copies, store.full_copies))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E14b: current_all() queries/s — COW snapshot vs per-query copy",
+        ["nodes", "snapshot/s", "full copy/s", "speedup"],
+        [[n, f"{cow:,.0f}", f"{cp:,.0f}", f"{cow / cp:.0f}x"]
+         for n, cow, cp, _ in rows])
+    by_size = {n: (cow, cp) for n, cow, cp, _ in rows}
+    assert by_size[1000][0] / by_size[1000][1] >= 10.0
+    # the store itself never value-copied state to serve a read
+    assert all(full_copies == 0 for *_, full_copies in rows)
+
+
+def test_write_path_stays_o_delta(benchmark):
+    """Many clients holding snapshots must not tax the write path: a
+    burst of writes after a snapshot costs one pointer-level fork total,
+    not one copy per write (or per reader)."""
+
+    def run():
+        store = populated_store(1000)
+        readers = [store.snapshot() for _ in range(50)]
+        for i in range(200):
+            store.apply(Update(hostname=f"bench-n{i:04d}", time=2.0,
+                               values={"cpu_util_pct": 50.0}))
+            if i % 10 == 0:
+                readers.append(store.snapshot())
+        return store, readers
+
+    store, readers = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E14c: copy-on-write accounting after 200 writes / 70 snapshots",
+        ["counter", "value"],
+        [["snapshots served", store.snapshots_taken
+          + store.snapshot_reuses],
+         ["distinct snapshots", store.snapshots_taken],
+         ["COW forks", store.cow_forks],
+         ["full value copies", store.full_copies]])
+    # one fork per snapshot-then-write pair, never per reader or write
+    assert store.cow_forks <= store.snapshots_taken
+    assert store.cow_forks <= 21
+    assert store.full_copies == 0
+    # early snapshots still show the pre-burst value
+    assert readers[0]["bench-n0000"]["cpu_util_pct"] == 0.0

@@ -47,6 +47,41 @@ def _cmd_demo(args) -> int:
           f"{cwx.server.updates_received} updates received | "
           f"monitoring traffic "
           f"{cwx.cluster.fabric.total_bytes('monitoring'):.0f} B")
+    summary = cwx.client().cluster_summary()
+    print(f"summary: {summary['nodes_up']}/{summary['nodes_total']} up | "
+          f"cpu {summary['cpu_util_mean_pct']:.1f}% | "
+          f"hottest {summary['cpu_temp_max_c']:.1f} C | "
+          f"events {summary['events_active']} | "
+          f"gen {summary['generation']} (O(1) rollup read)")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    """Tier-3 push path: subscribe to the state store instead of polling."""
+    from repro import ClusterWorX
+
+    cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                      monitor_interval=5.0)
+    cwx.start()
+    session = cwx.client()
+    metrics = args.metrics.split(",") if args.metrics else None
+    seen = []
+
+    def printer(update):
+        seen.append(update)
+        if len(seen) <= args.limit:
+            values = " ".join(f"{k}={v}" for k, v in
+                              sorted(update.values.items()))
+            print(f"t={update.time:8.1f} {update.hostname:<16} "
+                  f"[{update.source}#{update.seq}] {values}")
+
+    session.watch(printer, metrics=metrics)
+    cwx.run(args.seconds)
+    store = cwx.server.store
+    print(f"\n{len(seen)} deltas pushed "
+          f"({args.limit} shown) | generation {store.generation} | "
+          f"{store.notifications} notifications to "
+          f"{len(store.subscriptions)} subscribers")
     return 0
 
 
@@ -262,6 +297,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=100)
     p.add_argument("--image", default="compute-harddisk")
     p.set_defaults(fn=_cmd_clone)
+
+    p = sub.add_parser("watch",
+                       help="stream pushed monitoring deltas (no polling)")
+    p.add_argument("--nodes", type=int, default=10)
+    p.add_argument("--seconds", type=float, default=60.0)
+    p.add_argument("--metrics", default=None,
+                   help="comma-separated metric filter "
+                        "(e.g. cpu_temp_c,udp_echo)")
+    p.add_argument("--limit", type=int, default=20,
+                   help="max deltas to print (all are counted)")
+    p.set_defaults(fn=_cmd_watch)
 
     p = sub.add_parser("drill", help="fan-failure event drill")
     p.add_argument("--nodes", type=int, default=10)

@@ -66,7 +66,7 @@ class ClusterWorX:
                 interval=monitor_interval, deadband=deadband,
                 fabric=self.cluster.fabric,
                 server_node=self.cluster.management,
-                on_update=self.server.receive)
+                on_sample=self.server.ingest)
         self._started = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -160,10 +160,9 @@ class ClusterWorX:
             interval=self.monitor_interval,
             fabric=self.cluster.fabric,
             server_node=self.cluster.management,
-            on_update=self.server.receive)
+            on_sample=self.server.ingest)
+        self.server.track_node(node)
         box, port = self.cluster.locate(node)
-        box.console(port).subscribe(
-            self.server._make_console_sink(node.hostname))
         if power_on:
             box.power.power_on(port)
         if self._started:
@@ -171,12 +170,18 @@ class ClusterWorX:
         return node.hostname
 
     def remove_node(self, hostname: str) -> None:
-        """Decommission a node and stop monitoring it."""
+        """Decommission a node and stop monitoring it.
+
+        Beyond powering it off and freeing its ICE Box port, the server
+        forgets all its state — current values, rollup contributions,
+        history series, console archive, event-engine state — so a
+        removed node cannot leak into summaries or client views."""
         node = self.cluster.node(hostname)
         agent = self.agents.pop(hostname, None)
         if agent is not None:
             agent.stop()
         self.cluster.remove_node(node)
+        self.server.forget_node(hostname)
 
     # -- convenience views ------------------------------------------------------
     def emails(self) -> List:

@@ -9,12 +9,13 @@ one server concurrently without conflict.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.core.auth import AuthError
 from repro.core.server import ClusterWorXServer
+from repro.core.statestore import Snapshot, Subscription, Update
 from repro.events.rules import ThresholdRule
 
 __all__ = ["ClientSession", "connect"]
@@ -29,6 +30,7 @@ class ClientSession:
         self._token = token
         self.username = username
         self.closed = False
+        self._watches: List[Subscription] = []
 
     def _priv(self, privilege: str) -> None:
         if self.closed:
@@ -36,15 +38,31 @@ class ClientSession:
         self.server.auth.check(self._token, privilege)
 
     # -- monitoring views ---------------------------------------------------
-    def node_view(self, hostname: str) -> Dict[str, object]:
+    def node_view(self, hostname: str) -> Mapping[str, object]:
         """The near-real-time panel for one node."""
         self._priv("read")
         return self.server.current(hostname)
 
-    def cluster_view(self) -> Dict[str, Dict[str, object]]:
-        """The main monitoring screen: all nodes' current values."""
+    def cluster_view(self) -> Snapshot:
+        """The main monitoring screen: an immutable, generation-stamped
+        view of all nodes' current values.  Any number of concurrent
+        sessions share the same snapshot at the same generation — no
+        per-client copying, no conflicts."""
         self._priv("read")
         return self.server.current_all()
+
+    def watch(self, callback: Callable[[Update], None], *,
+              hosts: Optional[List[str]] = None,
+              metrics: Optional[List[str]] = None) -> Subscription:
+        """Register for pushed deltas instead of polling: ``callback``
+        receives every matching :class:`Update` as the server applies
+        it.  Cancelled automatically on logout."""
+        self._priv("read")
+        sub = self.server.subscribe(callback,
+                                    name=f"client:{self.username}",
+                                    hosts=hosts, metrics=metrics)
+        self._watches.append(sub)
+        return sub
 
     def cluster_summary(self) -> Dict[str, object]:
         """Cluster-level rollup (nodes up/down, mean load, active events)."""
@@ -87,6 +105,9 @@ class ClientSession:
 
     # -- lifecycle ---------------------------------------------------------------
     def logout(self) -> None:
+        for sub in self._watches:
+            sub.cancel()
+        self._watches.clear()
         self.server.auth.logout(self._token)
         self.closed = True
 

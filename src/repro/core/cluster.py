@@ -143,9 +143,7 @@ class Cluster:
         located = self._location.pop(node.hostname, None)
         if located is not None:
             box, port = located
-            box.power.power_off(port)
-            box.console(port).detach()
-            box._nodes.pop(port, None)
+            box.disconnect_node(port)
         else:
             node.power_off()
         self.dhcp.release(node.mac)

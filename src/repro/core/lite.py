@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.statestore import StateStore, Update
 from repro.events.actions import ActionDispatcher
 from repro.events.engine import EventEngine, FiredEvent
 from repro.events.notification import EmailGateway, SmartNotifier
@@ -56,22 +57,24 @@ class ClusterWorXLite:
         self.engine = EventEngine(
             self.kernel, dispatcher=ActionDispatcher(resolver=None),
             notifier=self.notifier)
-        self._current: Dict[str, Dict[str, object]] = {}
+        # Same typed store as the full server — Lite keeps the single
+        # tier but still gets O(1) rollups and the subscription bus.
+        self.store = StateStore()
+        for node in self.nodes:
+            self.store.track(node.hostname)
+        self.store.subscribe(self.history.ingest, name="history")
+        self.store.subscribe(self._feed_engine, name="events")
         self.agents: Dict[str, NodeAgent] = {
             node.hostname: NodeAgent(
                 self.kernel, node, self.registry,
                 interval=monitor_interval,
-                on_update=self._receive)
+                on_sample=self.store.apply)
             for node in self.nodes}
         self._started = False
 
     # ------------------------------------------------------------------
-    def _receive(self, hostname: str, t: float,
-                 values: Dict[str, object]) -> None:
-        self._current.setdefault(hostname, {}).update(values)
-        self.history.record(hostname, t, values)
-        node = self.node(hostname)
-        self.engine.feed(node, values)
+    def _feed_engine(self, update: Update) -> None:
+        self.engine.feed(self.node(update.hostname), update.values)
 
     def node(self, hostname: str) -> SimulatedNode:
         for node in self.nodes:
@@ -109,8 +112,14 @@ class ClusterWorXLite:
         self.engine.add_rule(rule)
         return rule
 
-    def current(self, hostname: str) -> Dict[str, object]:
-        return dict(self._current.get(hostname, {}))
+    def current(self, hostname: str):
+        return self.store.get(hostname)
+
+    def cluster_summary(self) -> Dict[str, object]:
+        """The same O(1) rollup the full server serves."""
+        summary = self.store.summary()
+        summary["events_active"] = self.engine.active_count()
+        return summary
 
     def fired_events(self) -> List[FiredEvent]:
         return list(self.engine.fired)

@@ -1,28 +1,32 @@
 """The ClusterWorX server — the middle of the 3-tier design (§5.1).
 
 Tier 1 is the node agents, tier 3 the (multiple, concurrent) clients; this
-server sits between: it receives consolidated monitoring deltas, maintains
-the *current view* and the *history store*, runs the event engine over
-every update, performs the UDP-echo connectivity sweep, and exposes
-query/command entry points that client sessions call.
+server sits between: it receives typed monitoring updates, owns the
+:class:`~repro.core.statestore.StateStore` (current view, incremental
+rollups, versioned snapshots), runs the event engine over every update,
+performs the UDP-echo connectivity sweep, and exposes query/command entry
+points that client sessions call.
 
 "The 3-tier design allows multiple clients to access the ClusterWorX
-server at the same time without conflict" — queries here are pure reads of
-the current-state dictionaries; commands serialize through the single
-simulation timeline.
+server at the same time without conflict" — queries are O(1) reads of
+the store's running aggregates and copy-on-write snapshots; history and
+the event engine consume updates through the store's subscription bus
+rather than being hard-wired into the receive path; commands serialize
+through the single simulation timeline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.auth import AuthManager, Role
 from repro.core.cluster import Cluster
+from repro.core.statestore import Snapshot, StateStore, Subscription, Update
 from repro.events.actions import ActionContext, ActionDispatcher
 from repro.events.engine import EventEngine
 from repro.events.notification import SmartNotifier
 from repro.events.rules import ThresholdRule
-from repro.hardware.node import NodeState
+from repro.hardware.node import NodeState, SimulatedNode
 from repro.imaging.manager import ImageManager
 from repro.imaging.multicast_clone import MulticastCloner
 from repro.monitoring.history import HistoryStore
@@ -34,7 +38,7 @@ __all__ = ["ClusterWorXServer"]
 
 
 class ClusterWorXServer:
-    """Tier 2: state, history, events, commands."""
+    """Tier 2: state store, history, events, commands."""
 
     def __init__(self, kernel: SimKernel, cluster: Cluster, *,
                  registry: Optional[MonitorRegistry] = None,
@@ -65,24 +69,43 @@ class ClusterWorXServer:
             kernel, cluster.fabric, cluster.management,
             rng=cluster.streams("clone"))
         self.sweep_interval = sweep_interval
-        #: hostname -> merged current values.
-        self._current: Dict[str, Dict[str, object]] = {}
-        self._last_update: Dict[str, float] = {}
+        #: the typed current-state store every consumer hangs off.
+        self.store = StateStore()
+        self.store.subscribe(self.history.ingest, name="history")
+        self.store.subscribe(self._feed_engine, name="events")
         self.updates_received = 0
         self.queries_served = 0
+        self._sweep_seq = 0
         self._sweeping = False
         # §3.3: console output "is captured and logged through the ICE
         # Box" — the server archives every port's serial stream beyond
         # the box's own 16 KiB buffer.
         self._console_archive: Dict[str, List[tuple[float, str]]] = {}
         self.console_archive_limit = 2000
-        for box in cluster.iceboxes:
-            for port_index in range(len(box.ports)):
-                node = box.node_at(port_index)
-                if node is None:
-                    continue
-                box.console(port_index).subscribe(
-                    self._make_console_sink(node.hostname))
+        for node in cluster.nodes:
+            self.track_node(node)
+
+    # -- node membership ---------------------------------------------------
+    def track_node(self, node: SimulatedNode) -> None:
+        """Start managing a node: registered in the store's rollup and
+        its serial console archived.  Called for every node at
+        construction and by the facade on hot add."""
+        self.store.track(node.hostname)
+        located = self.cluster.locate(node)
+        if located is not None:
+            box, port = located
+            box.console(port).subscribe(
+                self._make_console_sink(node.hostname))
+
+    def forget_node(self, hostname: str) -> None:
+        """Drop every server-side trace of a removed node: current
+        state and rollup contributions, freshness, history series,
+        console archive, and per-node event-engine state.  Without this
+        a hot-removed node leaks into summaries and queries forever."""
+        self.store.forget(hostname)
+        self.history.forget(hostname)
+        self._console_archive.pop(hostname, None)
+        self.engine.forget_node(hostname)
 
     def _make_console_sink(self, hostname: str):
         def _sink(text: str) -> None:
@@ -111,19 +134,26 @@ class ClusterWorXServer:
         return hits
 
     # -- tier-1 entry point -------------------------------------------------
+    def ingest(self, update: Update) -> None:
+        """Apply one typed update: the store merges it, maintains the
+        rollup, and pushes it to every subscriber (history, events,
+        watching clients)."""
+        self.updates_received += 1
+        self.store.apply(update)
+
     def receive(self, hostname: str, t: float,
                 values: Dict[str, object]) -> None:
-        """Agents deliver consolidated deltas here."""
-        self.updates_received += 1
-        current = self._current.setdefault(hostname, {})
-        current.update(values)
-        self._last_update[hostname] = t
-        self.history.record(hostname, t, values)
+        """Untyped compatibility entry point for raw deltas."""
+        self.ingest(Update(hostname=hostname, time=t, values=values,
+                           source="agent"))
+
+    def _feed_engine(self, update: Update) -> None:
+        """Store subscriber: evaluate threshold rules on each update."""
         try:
-            node = self.cluster.node(hostname)
+            node = self.cluster.node(update.hostname)
         except KeyError:
             return
-        self.engine.feed(node, values)
+        self.engine.feed(node, update.values)
 
     # -- connectivity sweep (the UDP echo check, §5.1) -------------------------
     def start_sweep(self) -> None:
@@ -142,74 +172,58 @@ class ClusterWorXServer:
                 reachable = 1 if (node.is_running()
                                   and node.state is not NodeState.HUNG
                                   and node.nic.health > 0.05) else 0
-                values = {"udp_echo": reachable,
-                          "node_state": node.state.value}
-                current = self._current.setdefault(node.hostname, {})
+                current = self.store.get(node.hostname)
                 if (current.get("udp_echo") != reachable
-                        or current.get("node_state") != node.state.value):
-                    current.update(values)
-                    self.history.record(node.hostname, now,
-                                        {"udp_echo": reachable})
-                    self.engine.feed(node, values)
+                        or current.get("node_state")
+                        != node.state.value):
+                    self._sweep_seq += 1
+                    self.ingest(Update(
+                        hostname=node.hostname, time=now,
+                        values={"udp_echo": reachable,
+                                "node_state": node.state.value},
+                        source="sweep", seq=self._sweep_seq))
             yield self.kernel.timeout(self.sweep_interval)
 
     # -- tier-3 queries ------------------------------------------------------
-    def current(self, hostname: str) -> Dict[str, object]:
+    def current(self, hostname: str) -> Mapping[str, object]:
+        """One node's merged current values (immutable, zero-copy)."""
         self.queries_served += 1
-        return dict(self._current.get(hostname, {}))
+        return self.store.get(hostname)
 
-    def current_all(self) -> Dict[str, Dict[str, object]]:
+    def current_all(self) -> Snapshot:
+        """The versioned all-nodes view.  O(1): snapshots share state
+        copy-on-write instead of deep-copying per query."""
         self.queries_served += 1
-        return {h: dict(v) for h, v in self._current.items()}
+        return self.store.snapshot()
+
+    def subscribe(self, callback, *, name: str = "client",
+                  hosts: Optional[List[str]] = None,
+                  metrics: Optional[List[str]] = None) -> Subscription:
+        """Register a consumer for pushed deltas (tier-3 watch API)."""
+        return self.store.subscribe(callback, name=name, hosts=hosts,
+                                    metrics=metrics)
 
     def last_seen(self, hostname: str) -> Optional[float]:
-        return self._last_update.get(hostname)
+        return self.store.last_seen(hostname)
 
     def stale_nodes(self, max_age: float) -> List[str]:
         """Nodes whose agents have gone quiet for longer than ``max_age``."""
         now = self.kernel.now
         out = []
         for hostname in self.cluster.hostnames:
-            t = self._last_update.get(hostname)
+            t = self.store.last_seen(hostname)
             if t is None or now - t > max_age:
                 out.append(hostname)
         return out
 
     def cluster_summary(self) -> Dict[str, object]:
         """Cluster-level rollup for the main monitoring screen (§5.1
-        "view cluster use and performance trends")."""
-        up = down = 0
-        cpu_sum = 0.0
-        cpu_n = 0
-        mem_used = 0
-        mem_total = 0
-        temps: List[float] = []
-        for node in self.cluster.nodes:
-            current = self._current.get(node.hostname, {})
-            if current.get("udp_echo", 0) == 1:
-                up += 1
-            else:
-                down += 1
-            if "cpu_util_pct" in current:
-                cpu_sum += float(current["cpu_util_pct"])
-                cpu_n += 1
-            mem_used += int(current.get("mem_used_bytes", 0))
-            mem_total += int(current.get("mem_total_bytes", 0))
-            if "cpu_temp_c" in current:
-                temps.append(float(current["cpu_temp_c"]))
-        triggered = sum(
-            1 for (rule, host), state in self.engine._state.items()
-            if state.triggered)
-        return {
-            "nodes_total": len(self.cluster.nodes),
-            "nodes_up": up,
-            "nodes_down": down,
-            "cpu_util_mean_pct": (cpu_sum / cpu_n) if cpu_n else 0.0,
-            "mem_used_bytes": mem_used,
-            "mem_total_bytes": mem_total,
-            "cpu_temp_max_c": max(temps) if temps else 0.0,
-            "events_active": triggered,
-        }
+        "view cluster use and performance trends").  An O(1) read of the
+        store's running aggregates — no per-node rescan."""
+        self.queries_served += 1
+        summary = self.store.summary()
+        summary["events_active"] = self.engine.active_count()
+        return summary
 
     # -- tier-3 commands ----------------------------------------------------
     def add_rule(self, rule: ThresholdRule) -> None:

@@ -1,0 +1,384 @@
+"""The tier-2 state store: typed updates, O(delta) rollups, versioned
+copy-on-write snapshots, and a subscription bus (§5.1).
+
+The paper's 3-tier claim is that "multiple clients access the ClusterWorX
+server at the same time without conflict" with a near-real-time view.
+That only scales if the *read* path costs nothing per query: a summary
+screen polled by every client must not rescan N nodes, and a cluster view
+must not deep-copy the whole state.  This module is the datapath that
+makes both true:
+
+* :class:`Update` — the typed value that replaces bare ``(hostname, t,
+  dict)`` triples end-to-end: agents emit it, the wire carries its
+  values, the server applies it, subscribers receive it.
+* :class:`StateStore` — owns current state.  Every :meth:`~StateStore.
+  apply` maintains the cluster rollup *incrementally* (running up/down
+  counts, CPU/mem/temp aggregates), so :meth:`~StateStore.summary` is an
+  O(1) read regardless of cluster size.
+* :class:`Snapshot` — an immutable, generation-stamped view.  Taking one
+  is O(1); the store forks its top-level map copy-on-write on the next
+  write instead of copying values per query (``full_copies`` stays 0).
+* :class:`Subscription` — server-side consumers (history, event engine)
+  and tier-3 clients register for pushed deltas instead of being
+  hard-wired inline in the receive path.
+
+The module is deliberately dependency-free (stdlib only) so every layer
+of the stack — agents included — can import the types without cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
+                    Optional, Set, Tuple)
+
+__all__ = ["Update", "Sample", "Snapshot", "Subscription", "StateStore"]
+
+_EMPTY: Mapping[str, object] = MappingProxyType({})
+
+
+@dataclass(frozen=True)
+class Update:
+    """One typed monitoring delta: who, when, what, from where.
+
+    ``values`` is frozen at construction (a mapping proxy over a private
+    copy), so an Update can be fanned out to any number of subscribers
+    and stored without defensive copying.
+    """
+
+    hostname: str
+    time: float
+    values: Mapping[str, object]
+    source: str = "agent"
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values",
+                           MappingProxyType(dict(self.values)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def numeric_items(self) -> Iterator[Tuple[str, float]]:
+        """The (name, float value) subset history cares about."""
+        for name, value in self.values.items():
+            if isinstance(value, bool):
+                yield name, float(int(value))
+            elif isinstance(value, (int, float)):
+                yield name, float(value)
+
+
+#: A sample *is* an update — the agent-side name for the same value.
+Sample = Update
+
+
+class Snapshot(MappingABC):
+    """An immutable hostname -> values view at one store generation.
+
+    Creation is O(1): the snapshot captures the store's live host map by
+    reference and the store forks that map (a shallow, pointer-level
+    copy) only if a later write arrives — classic copy-on-write.  The
+    per-host value mappings are never mutated by the store (writes
+    replace them), so the whole view is stable for as long as the caller
+    holds it, across any number of concurrent receives.
+    """
+
+    __slots__ = ("_hosts", "generation", "time")
+
+    def __init__(self, hosts: Dict[str, Mapping[str, object]],
+                 generation: int, time: float):
+        self._hosts = hosts
+        #: store generation this view is stamped with (monotone).
+        self.generation = generation
+        #: simulation time of the last applied update.
+        self.time = time
+
+    def __getitem__(self, hostname: str) -> Mapping[str, object]:
+        return MappingProxyType(self._hosts[hostname])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._hosts)
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __contains__(self, hostname: object) -> bool:
+        return hostname in self._hosts
+
+    def __repr__(self) -> str:
+        return (f"Snapshot(gen={self.generation}, "
+                f"hosts={len(self._hosts)})")
+
+
+class Subscription:
+    """A registered consumer of pushed deltas. ``cancel()`` to detach."""
+
+    __slots__ = ("store", "callback", "name", "hosts", "metrics",
+                 "delivered", "active")
+
+    def __init__(self, store: "StateStore",
+                 callback: Callable[[Update], None], *,
+                 name: str = "?",
+                 hosts: Optional[Iterable[str]] = None,
+                 metrics: Optional[Iterable[str]] = None):
+        self.store = store
+        self.callback = callback
+        self.name = name
+        self.hosts: Optional[Set[str]] = set(hosts) if hosts else None
+        self.metrics: Optional[Set[str]] = \
+            set(metrics) if metrics else None
+        self.delivered = 0
+        self.active = True
+
+    def wants(self, update: Update) -> bool:
+        if self.hosts is not None and update.hostname not in self.hosts:
+            return False
+        if self.metrics is not None and \
+                self.metrics.isdisjoint(update.values):
+            return False
+        return True
+
+    def cancel(self) -> None:
+        self.active = False
+        self.store.unsubscribe(self)
+
+
+class StateStore:
+    """Current cluster state with O(delta) writes and O(1) reads.
+
+    The rollup tracks the exact aggregates the main monitoring screen
+    shows (§5.1 "view cluster use and performance trends"): node
+    up/down counts (from ``udp_echo``), mean CPU utilisation, total
+    memory used/installed, and hottest CPU.  Each :meth:`apply` adjusts
+    them by subtracting the host's old contribution and adding the new
+    one — cost proportional to the delta, never to the cluster.
+
+    ``max`` is the one aggregate that cannot be decremented; the store
+    keeps the arg-max cached and rescans the per-host temperature table
+    only when the current hottest host cools (``temp_rescans`` counts
+    how rarely that happens).
+    """
+
+    #: metric the up/down rollup watches (1 == reachable).
+    UP_METRIC = "udp_echo"
+
+    def __init__(self):
+        self._hosts: Dict[str, Dict[str, object]] = {}
+        self._last_update: Dict[str, float] = {}
+        self._tracked: Set[str] = set()
+        self._generation = 0
+        self._time = 0.0
+        self._snapshot: Optional[Snapshot] = None
+        self._subs: List[Subscription] = []
+        # -- incremental rollup state --
+        self._up: Set[str] = set()
+        self._cpu_sum = 0.0
+        self._cpu_n = 0
+        self._mem_used = 0.0
+        self._mem_total = 0.0
+        self._temps: Dict[str, float] = {}
+        self._temp_max = 0.0
+        self._temp_argmax: Optional[str] = None
+        # -- observability counters --
+        self.updates_applied = 0
+        self.snapshots_taken = 0
+        self.snapshot_reuses = 0
+        self.cow_forks = 0
+        #: whole-state value copies performed by the read path — the
+        #: legacy per-query behaviour this store exists to eliminate;
+        #: stays 0 (bench_e14 asserts it).
+        self.full_copies = 0
+        self.temp_rescans = 0
+        self.notifications = 0
+        #: (subscriber name, hostname, error text) for callbacks that
+        #: raised; one bad consumer must not stall the datapath.
+        self.errors: List[Tuple[str, str, str]] = []
+
+    # -- membership ---------------------------------------------------------
+    def track(self, hostname: str) -> None:
+        """Declare a host part of the cluster (counts as down until its
+        first reachable update)."""
+        if hostname not in self._tracked:
+            self._tracked.add(hostname)
+            self._generation += 1
+
+    def forget(self, hostname: str) -> None:
+        """Drop every trace of a host: state, rollup contributions,
+        freshness — the hot-remove path."""
+        self._tracked.discard(hostname)
+        self._last_update.pop(hostname, None)
+        old = self._hosts.get(hostname)
+        if old is None:
+            return
+        self._rollup_remove(hostname, old)
+        self._fork_if_frozen()
+        del self._hosts[hostname]
+        self._generation += 1
+
+    @property
+    def tracked(self) -> Set[str]:
+        return set(self._tracked)
+
+    # -- write path ---------------------------------------------------------
+    def apply(self, update: Update) -> Update:
+        """Merge one typed delta; O(len(update.values) + host metrics)."""
+        if not update.values:
+            return update
+        host = update.hostname
+        old = self._hosts.get(host)
+        old_values: Mapping[str, object] = old if old is not None \
+            else _EMPTY
+        self._rollup_delta(host, old_values, update.values)
+        merged = dict(old_values)
+        merged.update(update.values)
+        self._fork_if_frozen()
+        self._hosts[host] = merged
+        self._last_update[host] = update.time
+        self._time = max(self._time, update.time)
+        self._generation += 1
+        self.updates_applied += 1
+        self._publish(update)
+        return update
+
+    def _fork_if_frozen(self) -> None:
+        """Copy-on-write: if a live snapshot references the host map,
+        replace it with a shallow (pointer-level) copy before writing."""
+        if self._snapshot is not None:
+            self._hosts = dict(self._hosts)
+            self._snapshot = None
+            self.cow_forks += 1
+
+    # -- incremental rollup --------------------------------------------------
+    def _rollup_delta(self, host: str, old: Mapping[str, object],
+                      new: Mapping[str, object]) -> None:
+        if self.UP_METRIC in new:
+            if new[self.UP_METRIC] == 1:
+                self._up.add(host)
+            else:
+                self._up.discard(host)
+        if "cpu_util_pct" in new:
+            if "cpu_util_pct" in old:
+                self._cpu_sum -= float(old["cpu_util_pct"])
+            else:
+                self._cpu_n += 1
+            self._cpu_sum += float(new["cpu_util_pct"])
+        if "mem_used_bytes" in new:
+            self._mem_used += (float(new["mem_used_bytes"])
+                               - float(old.get("mem_used_bytes", 0)))
+        if "mem_total_bytes" in new:
+            self._mem_total += (float(new["mem_total_bytes"])
+                                - float(old.get("mem_total_bytes", 0)))
+        if "cpu_temp_c" in new:
+            temp = float(new["cpu_temp_c"])
+            self._temps[host] = temp
+            if temp >= self._temp_max or self._temp_argmax is None:
+                self._temp_max = temp
+                self._temp_argmax = host
+            elif host == self._temp_argmax:
+                self._rescan_temps()
+
+    def _rollup_remove(self, host: str,
+                       old: Mapping[str, object]) -> None:
+        self._up.discard(host)
+        if "cpu_util_pct" in old:
+            self._cpu_sum -= float(old["cpu_util_pct"])
+            self._cpu_n -= 1
+        self._mem_used -= float(old.get("mem_used_bytes", 0))
+        self._mem_total -= float(old.get("mem_total_bytes", 0))
+        if self._temps.pop(host, None) is not None \
+                and host == self._temp_argmax:
+            self._rescan_temps()
+
+    def _rescan_temps(self) -> None:
+        self.temp_rescans += 1
+        if self._temps:
+            self._temp_argmax = max(self._temps, key=self._temps.get)
+            self._temp_max = self._temps[self._temp_argmax]
+        else:
+            self._temp_argmax = None
+            self._temp_max = 0.0
+
+    # -- read path ----------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def get(self, hostname: str) -> Mapping[str, object]:
+        """One host's merged current values (immutable, zero-copy)."""
+        values = self._hosts.get(hostname)
+        return MappingProxyType(values) if values is not None else _EMPTY
+
+    def last_seen(self, hostname: str) -> Optional[float]:
+        return self._last_update.get(hostname)
+
+    def snapshot(self) -> Snapshot:
+        """The versioned all-hosts view; O(1), shared until a write."""
+        if self._snapshot is None:
+            self._snapshot = Snapshot(self._hosts, self._generation,
+                                      self._time)
+            self.snapshots_taken += 1
+        else:
+            self.snapshot_reuses += 1
+        return self._snapshot
+
+    def summary(self) -> Dict[str, object]:
+        """The cluster rollup, read straight off the running aggregates."""
+        total = len(self._tracked) if self._tracked else len(self._hosts)
+        up = len(self._up)
+        return {
+            "nodes_total": total,
+            "nodes_up": up,
+            "nodes_down": total - up,
+            "cpu_util_mean_pct": (self._cpu_sum / self._cpu_n)
+            if self._cpu_n else 0.0,
+            "mem_used_bytes": int(self._mem_used),
+            "mem_total_bytes": int(self._mem_total),
+            "cpu_temp_max_c": self._temp_max,
+            "generation": self._generation,
+        }
+
+    @property
+    def hostnames(self) -> List[str]:
+        return sorted(self._hosts)
+
+    def __contains__(self, hostname: str) -> bool:
+        return hostname in self._hosts
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    # -- subscription bus -----------------------------------------------------
+    def subscribe(self, callback: Callable[[Update], None], *,
+                  name: str = "?",
+                  hosts: Optional[Iterable[str]] = None,
+                  metrics: Optional[Iterable[str]] = None
+                  ) -> Subscription:
+        """Register for pushed deltas.  ``hosts``/``metrics`` restrict
+        delivery; the callback always receives the full Update."""
+        sub = Subscription(self, callback, name=name, hosts=hosts,
+                           metrics=metrics)
+        self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        if sub in self._subs:
+            self._subs.remove(sub)
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subs)
+
+    def _publish(self, update: Update) -> None:
+        for sub in list(self._subs):
+            if not sub.wants(update):
+                continue
+            try:
+                sub.callback(update)
+            except Exception as exc:  # consumer code is arbitrary
+                self.errors.append((sub.name, update.hostname,
+                                    str(exc)))
+                continue
+            sub.delivered += 1
+            self.notifications += 1

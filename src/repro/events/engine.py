@@ -57,6 +57,9 @@ class EventEngine:
         self.notifier = notifier
         self._rules: Dict[str, ThresholdRule] = {}
         self._state: Dict[Tuple[str, str], _RuleState] = {}
+        #: currently-triggered (rule, hostname) pairs, maintained
+        #: incrementally so active_count() is O(1).
+        self._active: set[Tuple[str, str]] = set()
         #: last value seen per (hostname, metric): change suppression
         #: means a delta without a metric implies "same as before".
         self._last: Dict[Tuple[str, str], object] = {}
@@ -72,6 +75,17 @@ class EventEngine:
         self._rules.pop(name, None)
         for key in [k for k in self._state if k[0] == name]:
             del self._state[key]
+            self._active.discard(key)
+
+    def forget_node(self, hostname: str) -> None:
+        """Drop all per-node rule state and change-suppression memory —
+        the hot-remove path (a decommissioned node must not keep events
+        active or ghost-evaluate against stale values)."""
+        for key in [k for k in self._state if k[1] == hostname]:
+            del self._state[key]
+            self._active.discard(key)
+        for key in [k for k in self._last if k[0] == hostname]:
+            del self._last[key]
 
     @property
     def rules(self) -> List[ThresholdRule]:
@@ -80,6 +94,14 @@ class EventEngine:
     def is_triggered(self, rule_name: str, hostname: str) -> bool:
         state = self._state.get((rule_name, hostname))
         return bool(state and state.triggered)
+
+    def active_events(self) -> List[Tuple[str, str]]:
+        """The currently-triggered (rule, hostname) pairs, sorted."""
+        return sorted(self._active)
+
+    def active_count(self) -> int:
+        """How many (rule, node) events are currently triggered; O(1)."""
+        return len(self._active)
 
     # -- evaluation ---------------------------------------------------------
     def feed(self, node: SimulatedNode,
@@ -118,12 +140,14 @@ class EventEngine:
                     if now - state.pending_since >= rule.hold_time:
                         state.triggered = True
                         state.pending_since = None
+                        self._active.add(key)
                         fired.append(self._fire(rule, node, value))
                 else:
                     state.pending_since = None
             else:
                 if rule.cleared(value):
                     state.triggered = False
+                    self._active.discard(key)
                     if self.notifier is not None:
                         self.notifier.event_cleared(rule.name,
                                                     node.hostname)
@@ -162,5 +186,6 @@ class EventEngine:
         if state is not None:
             state.triggered = False
             state.pending_since = None
+        self._active.discard((rule_name, hostname))
         if self.notifier is not None:
             self.notifier.event_cleared(rule_name, hostname)

@@ -52,6 +52,15 @@ class IceBox:
     def node_at(self, port: int) -> Optional[SimulatedNode]:
         return self._nodes.get(port)
 
+    def disconnect_node(self, port: int) -> Optional[SimulatedNode]:
+        """Free ``port``: power the outlet off, detach the serial line,
+        and forget the node.  Returns the node that was connected."""
+        node = self._nodes.pop(port, None)
+        if node is not None:
+            self.power.power_off(port)
+            self.ports[port].detach()
+        return node
+
     def port_of(self, node: SimulatedNode) -> Optional[int]:
         for port, n in self._nodes.items():
             if n is node:

@@ -27,7 +27,12 @@ from repro.monitoring.plugins import (
     load_plugin_dir,
     register_function,
 )
-from repro.monitoring.transmission import BinaryCodec, TextCodec, Transmitter
+from repro.monitoring.transmission import (
+    BinaryCodec,
+    TextCodec,
+    Transmitter,
+    decode_update,
+)
 
 __all__ = [
     "AprioriGatherer",
@@ -51,6 +56,7 @@ __all__ = [
     "TieredHistory",
     "Transmitter",
     "builtin_registry",
+    "decode_update",
     "load_plugin_dir",
     "make_gatherer",
     "parse_apriori",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.statestore import Update
 from repro.hardware.node import SimulatedNode
 from repro.monitoring.consolidation import Consolidator
 from repro.monitoring.gathering import GATHER_PATHS, make_gatherer
@@ -45,6 +46,7 @@ class NodeAgent:
                  server_node: Optional[SimulatedNode] = None,
                  on_update: Optional[Callable[[str, float, Dict], None]]
                  = None,
+                 on_sample: Optional[Callable[[Update], None]] = None,
                  codec=None):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -56,7 +58,12 @@ class NodeAgent:
             static_names=registry.static_names(), deadband=deadband)
         self.transmitter = Transmitter(fabric, node, server_node,
                                        codec=codec)
+        #: legacy raw-delta callback ``(hostname, t, values)``.
         self.on_update = on_update
+        #: typed callback: receives the same :class:`Update` the
+        #: transmitter ships (the server's ``ingest`` plugs in here).
+        self.on_sample = on_sample
+        self._seq = 0
         self.procfs = ProcFilesystem(node)
         #: (time, monitor name, error text) for failed monitor evaluations.
         self.errors: List[Tuple[float, str, str]] = []
@@ -110,7 +117,13 @@ class NodeAgent:
         delta = self.consolidator.update(values, now)
         self.samples_taken += 1
         if delta:
-            self.transmitter.transmit(now, delta)
+            self._seq += 1
+            update = Update(hostname=self.node.hostname, time=now,
+                            values=delta, source="agent",
+                            seq=self._seq)
+            self.transmitter.transmit_update(update)
+            if self.on_sample is not None:
+                self.on_sample(update)
             if self.on_update is not None:
                 self.on_update(self.node.hostname, now, delta)
         return delta

@@ -44,6 +44,17 @@ class HistoryStore:
                 self._series[key] = ring
             ring.append(t, float(value))
 
+    def ingest(self, update) -> None:
+        """Typed entry point: store one
+        :class:`~repro.core.statestore.Update` — the store-subscription
+        form of :meth:`record`."""
+        self.record(update.hostname, update.time, dict(update.values))
+
+    def forget(self, hostname: str) -> None:
+        """Drop every series for a decommissioned node."""
+        for key in [k for k in self._series if k[0] == hostname]:
+            del self._series[key]
+
     # -- queries ------------------------------------------------------------
     def series(self, hostname: str, metric: str
                ) -> Tuple[np.ndarray, np.ndarray]:

@@ -17,11 +17,25 @@ import struct
 import zlib
 from typing import Dict, Optional, Tuple
 
+from repro.core.statestore import Update
 from repro.hardware.node import SimulatedNode
 from repro.network.fabric import NetworkFabric
 from repro.sim import Event
 
-__all__ = ["TextCodec", "BinaryCodec", "Transmitter"]
+__all__ = ["TextCodec", "BinaryCodec", "Transmitter", "decode_update"]
+
+
+def decode_update(codec: "TextCodec | BinaryCodec", payload: bytes, *,
+                  source: str = "wire", seq: int = 0) -> Update:
+    """Decode one frame back into a typed :class:`Update`.
+
+    The wire format stays the paper's plain ``name value`` text (§5.3.3
+    keeps text for platform independence); ``source``/``seq`` are
+    in-process provenance re-attached at the receiving end.
+    """
+    hostname, t, values = codec.decode(payload)
+    return Update(hostname=hostname, time=t, values=values,
+                  source=source, seq=seq)
 
 
 class TextCodec:
@@ -242,6 +256,11 @@ class Transmitter:
         self.frames_sent = 0
         self.bytes_sent = 0
         self.raw_bytes = 0
+
+    def transmit_update(self, update: Update
+                        ) -> Tuple[bytes, Optional[Event]]:
+        """Typed entry point: encode and send one :class:`Update`."""
+        return self.transmit(update.time, dict(update.values))
 
     def transmit(self, t: float, values: Dict[str, object]
                  ) -> Tuple[bytes, Optional[Event]]:

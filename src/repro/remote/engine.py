@@ -96,7 +96,9 @@ class TaskRun:
         return _normalize_outcome(value)
 
     # -- bookkeeping -----------------------------------------------------
-    def _worker_done(self, result: WorkerResult) -> None:
+    def worker_done(self, result: WorkerResult) -> None:
+        """Worker completion callback (the per-node worker process
+        reports its final :class:`WorkerResult` here)."""
         self.results[result.node] = result
         if (self.failure_policy == "abort" and not result.ok
                 and result.status != "aborted" and not self.abort_flag):

@@ -108,4 +108,4 @@ def node_worker(run, hostname: str) -> Generator[object, object, None]:
             run.in_flight -= 1
         run.window.release(slot)
         result.finished_at = kernel.now
-        run._worker_done(result)
+        run.worker_done(result)

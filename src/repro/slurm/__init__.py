@@ -4,7 +4,8 @@ from repro.slurm.controller import FailoverPair, NodeAllocState, SlurmController
 from repro.slurm.daemon import Slurmd
 from repro.slurm.job import Job, JobState
 from repro.slurm.partition import Partition
-from repro.slurm.accounting import JobRecord, efficiency_report, sacct
+from repro.slurm.accounting import (JobRecord, LiveUtilization,
+                                    efficiency_report, sacct)
 from repro.slurm.maui import MauiLikeScheduler, MauiWeights
 from repro.slurm.scheduler import BackfillScheduler, FIFOScheduler, Scheduler
 from repro.slurm.views import sinfo, squeue
@@ -13,6 +14,7 @@ __all__ = [
     "JobRecord",
     "MauiLikeScheduler",
     "MauiWeights",
+    "LiveUtilization",
     "efficiency_report",
     "sacct",
     "sinfo",

@@ -18,7 +18,85 @@ from repro.monitoring.history import HistoryStore
 from repro.slurm.controller import SlurmController
 from repro.slurm.job import Job, JobState
 
-__all__ = ["JobRecord", "sacct", "efficiency_report"]
+__all__ = ["JobRecord", "LiveUtilization", "sacct", "efficiency_report"]
+
+
+class LiveUtilization:
+    """Accounting as a state-store subscriber: O(1) per-job efficiency.
+
+    The classic ``sacct`` join above replays each job's window against
+    the history rings — an O(samples) scan per job.  This class instead
+    subscribes to the tier-2 :class:`~repro.core.statestore.StateStore`
+    and maintains a *running time-weighted integral* of a metric per
+    host (the change-suppressed stream is a right-continuous step
+    series, so each pushed delta closes exactly one rectangle).  A job's
+    mean utilization is then the integral difference between two O(1)
+    checkpoints — open a span at job start, close it at job end::
+
+        util = LiveUtilization()
+        server.subscribe(util.ingest, name="accounting")
+        util.open_span(job.id, job.allocated, now=start)
+        ...
+        efficiency = util.close_span(job.id, now=end)
+
+    """
+
+    def __init__(self, metric: str = "cpu_util_pct",
+                 scale: float = 100.0):
+        self.metric = metric
+        #: divide by this to normalise (percent -> 0..1).
+        self.scale = scale
+        self._integral: Dict[str, float] = {}
+        #: host -> (time of last accrual, value in effect since then).
+        self._last: Dict[str, tuple] = {}
+        self._spans: Dict[object, tuple] = {}
+        self.updates_seen = 0
+
+    # -- store subscriber ---------------------------------------------------
+    def ingest(self, update) -> None:
+        """Accrue the step series up to ``update.time``; O(1) per delta."""
+        self.updates_seen += 1
+        host = update.hostname
+        last = self._last.get(host)
+        if last is not None:
+            t0, v0 = last
+            if update.time > t0:
+                self._integral[host] = (self._integral.get(host, 0.0)
+                                        + v0 * (update.time - t0))
+        value = update.values.get(self.metric)
+        if value is not None:
+            self._last[host] = (update.time, float(value))
+        elif last is not None:
+            # change suppression: absent means "unchanged since last".
+            self._last[host] = (update.time, last[1])
+
+    def integral_at(self, hostname: str, now: float) -> float:
+        """∫ metric dt from first sight to ``now`` for one host."""
+        total = self._integral.get(hostname, 0.0)
+        last = self._last.get(hostname)
+        if last is not None and now > last[0]:
+            total += last[1] * (now - last[0])
+        return total
+
+    # -- per-job spans ------------------------------------------------------
+    def open_span(self, key, hostnames: List[str], *,
+                  now: float) -> None:
+        """Checkpoint the integrals at a job's start."""
+        marks = {h: self.integral_at(h, now) for h in hostnames}
+        self._spans[key] = (now, marks)
+
+    def close_span(self, key, *, now: float) -> float:
+        """Mean utilization (0..1) across the span's hosts since
+        :meth:`open_span`; NaN for an empty or zero-length span."""
+        opened = self._spans.pop(key, None)
+        if opened is None:
+            return float("nan")
+        t0, marks = opened
+        if now <= t0 or not marks:
+            return float("nan")
+        means = [(self.integral_at(h, now) - mark) / (now - t0)
+                 for h, mark in marks.items()]
+        return float(np.mean(means)) / self.scale
 
 
 @dataclass(frozen=True)

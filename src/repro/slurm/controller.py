@@ -98,6 +98,11 @@ class SlurmController:
     def add_partition(self, partition: Partition) -> None:
         self._partitions[partition.name] = partition
 
+    @property
+    def partitions(self) -> Dict[str, Partition]:
+        """Name -> partition map (the sinfo view reads this)."""
+        return dict(self._partitions)
+
     def drain(self, hostname: str) -> None:
         self._nodes[hostname].drained = True
 

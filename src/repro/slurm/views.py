@@ -59,7 +59,7 @@ def sinfo(ctl: SlurmController) -> str:
     header = (f"{'PARTITION':<12} {'AVAIL':<6} {'NODES':>5} "
               f"{'STATE':<10} EXAMPLES")
     rows = [header]
-    for pname, partition in sorted(ctl._partitions.items()):
+    for pname, partition in sorted(ctl.partitions.items()):
         by_state: dict[str, List[str]] = {}
         for hostname in partition.hostnames:
             state = ctl.node_alloc_state(hostname)

@@ -2,7 +2,59 @@
 
 import compileall
 import pathlib
+import re
 import sys
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+#: receiver._attr on something other than self/cls.  Same-module uses of a
+#: class's own internals are fine (Welford merge, sim-kernel event plumbing,
+#: NodeSet algebra, failover-pair cloning); everything else must go through
+#: a public method or property.
+_PRIVATE_ACCESS = re.compile(
+    r"(?<![\w.])([A-Za-z_][A-Za-z0-9_]*)\._([a-z][a-z0-9_]*)")
+
+#: file (relative to src/) -> attribute names a peer instance of the *same*
+#: class may legitimately touch there.
+_SAME_MODULE_OK = {
+    "repro/sim/kernel.py": {"enqueue", "ok", "value", "resume", "active"},
+    "repro/util/stats.py": {"mean", "m2"},
+    "repro/slurm/controller.py": {"nodes", "partitions", "reports"},
+    "repro/remote/nodeset.py": {"groups", "scalars"},
+}
+
+
+def _strip_comment(line):
+    # good enough for this codebase: '#' never appears inside a string
+    # on the same line as an attribute access we care about.
+    return line.split("#", 1)[0]
+
+
+def test_no_cross_module_private_attribute_access():
+    """No reaching into another object's ``_private`` state from outside.
+
+    Guards the public APIs introduced for exactly this reason
+    (``EventEngine.active_events``, ``IceBox.disconnect_node``,
+    ``SlurmController.partitions``, ``TaskRun.worker_done``, ...): a grep
+    for ``receiver._attr`` where the receiver is not ``self``/``cls``,
+    with a short allowlist of same-module idioms.
+    """
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        allowed = _SAME_MODULE_OK.get(rel, set())
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            for match in _PRIVATE_ACCESS.finditer(_strip_comment(line)):
+                receiver, attr = match.groups()
+                if receiver in ("self", "cls"):
+                    continue
+                if attr in allowed:
+                    continue
+                offenders.append(f"{rel}:{lineno}: {match.group(0)}")
+    assert not offenders, (
+        "cross-module private-attribute access (add a public API "
+        "instead):\n" + "\n".join(offenders))
 
 
 def test_compileall_src():
