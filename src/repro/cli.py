@@ -253,6 +253,49 @@ def _cmd_nodeset(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """worxlint: run the architectural-invariant passes over src/."""
+    import json
+    import pathlib
+
+    from repro.tooling import (LintConfig, default_config,
+                               refresh_baseline, run_lint)
+
+    root = pathlib.Path(args.root).resolve() if args.root else None
+    baseline = pathlib.Path(args.baseline) if args.baseline else None
+    rules = frozenset(args.rules) if args.rules else None
+    if args.package != "repro" or args.layers:
+        layers = {}
+        for part in (args.layers or "").split(","):
+            if not part:
+                continue
+            name, _, layer = part.partition("=")
+            layers[name] = int(layer)
+        if root is None:
+            print("lint: --package/--layers require --root",
+                  file=sys.stderr)
+            return 2
+        config = LintConfig(root=root, package=args.package,
+                            layers=layers, baseline=baseline,
+                            rules=rules)
+    else:
+        config = default_config(root=root, baseline=baseline,
+                                rules=set(rules) if rules else None)
+    if args.refresh_baseline:
+        path = baseline if baseline is not None \
+            else config.root.parent / "worxlint.baseline"
+        result = refresh_baseline(config, path)
+        print(f"worxlint: baselined {len(result.findings)} finding(s) "
+              f"into {path}")
+        return 0
+    result = run_lint(config)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_exec(args) -> int:
     from repro import ClusterWorX
     from repro.remote import NodeSetParseError
@@ -346,6 +389,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--split", type=int, metavar="N",
                    help="partition into N near-equal chunks")
     p.set_defaults(fn=_cmd_nodeset)
+
+    p = sub.add_parser(
+        "lint",
+        help="check the source tree against the WORX invariants")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings on stdout")
+    p.add_argument("--root", default=None,
+                   help="tree to lint (default: the installed src/)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="grandfathered-findings file (default: "
+                        "<root>/../worxlint.baseline when present)")
+    p.add_argument("--refresh-baseline", action="store_true",
+                   help="rewrite the baseline from the current findings "
+                        "and exit 0 (intentional grandfathering only)")
+    p.add_argument("--rules", nargs="+", metavar="WORXNNN", default=None,
+                   help="run only these rule ids")
+    p.add_argument("--package", default="repro",
+                   help="root package of the linted tree")
+    p.add_argument("--layers", default=None, metavar="SPEC",
+                   help="layer map for a non-repro tree, e.g. "
+                        "'lib=0,mid=1,app=2' ('' names the facade)")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("exec",
                        help="fan a command out over a simulated cluster")

@@ -10,7 +10,9 @@ makes both true:
 
 * :class:`Update` — the typed value that replaces bare ``(hostname, t,
   dict)`` triples end-to-end: agents emit it, the wire carries its
-  values, the server applies it, subscribers receive it.
+  values, the server applies it, subscribers receive it.  It is defined
+  in :mod:`repro.monitoring.records` (producers sit below this server
+  in the layer DAG) and re-exported here for tier-2 consumers.
 * :class:`StateStore` — owns current state.  Every :meth:`~StateStore.
   apply` maintains the cluster rollup *incrementally* (running up/down
   counts, CPU/mem/temp aggregates), so :meth:`~StateStore.summary` is an
@@ -22,56 +24,20 @@ makes both true:
   and tier-3 clients register for pushed deltas instead of being
   hard-wired inline in the receive path.
 
-The module is deliberately dependency-free (stdlib only) so every layer
-of the stack — agents included — can import the types without cycles.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping as MappingABC
-from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
                     Optional, Set, Tuple)
 
+from repro.monitoring.records import Sample, Update
+
 __all__ = ["Update", "Sample", "Snapshot", "Subscription", "StateStore"]
 
 _EMPTY: Mapping[str, object] = MappingProxyType({})
-
-
-@dataclass(frozen=True)
-class Update:
-    """One typed monitoring delta: who, when, what, from where.
-
-    ``values`` is frozen at construction (a mapping proxy over a private
-    copy), so an Update can be fanned out to any number of subscribers
-    and stored without defensive copying.
-    """
-
-    hostname: str
-    time: float
-    values: Mapping[str, object]
-    source: str = "agent"
-    seq: int = 0
-
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "values",
-                           MappingProxyType(dict(self.values)))
-
-    def __len__(self) -> int:
-        return len(self.values)
-
-    def numeric_items(self) -> Iterator[Tuple[str, float]]:
-        """The (name, float value) subset history cares about."""
-        for name, value in self.values.items():
-            if isinstance(value, bool):
-                yield name, float(int(value))
-            elif isinstance(value, (int, float)):
-                yield name, float(value)
-
-
-#: A sample *is* an update — the agent-side name for the same value.
-Sample = Update
 
 
 class Snapshot(MappingABC):

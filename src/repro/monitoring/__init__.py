@@ -27,6 +27,7 @@ from repro.monitoring.plugins import (
     load_plugin_dir,
     register_function,
 )
+from repro.monitoring.records import Sample, Update
 from repro.monitoring.transmission import (
     BinaryCodec,
     TextCodec,
@@ -51,10 +52,12 @@ __all__ = [
     "PER_SAMPLE_CPU_SECONDS",
     "PersistentGatherer",
     "PluginError",
+    "Sample",
     "ScriptMonitor",
     "TextCodec",
     "TieredHistory",
     "Transmitter",
+    "Update",
     "builtin_registry",
     "decode_update",
     "load_plugin_dir",

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.statestore import Update
 from repro.hardware.node import SimulatedNode
 from repro.monitoring.consolidation import Consolidator
 from repro.monitoring.gathering import GATHER_PATHS, make_gatherer
 from repro.monitoring.monitors import MonitorContext, MonitorRegistry
+from repro.monitoring.records import Update
 from repro.monitoring.transmission import Transmitter
 from repro.network.fabric import NetworkFabric
 from repro.procfs import ProcFilesystem

@@ -17,8 +17,8 @@ import struct
 import zlib
 from typing import Dict, Optional, Tuple
 
-from repro.core.statestore import Update
 from repro.hardware.node import SimulatedNode
+from repro.monitoring.records import Update
 from repro.network.fabric import NetworkFabric
 from repro.sim import Event
 

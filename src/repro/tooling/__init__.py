@@ -1,0 +1,44 @@
+"""worxlint — AST-based static analysis enforcing this codebase's
+architectural invariants (layer DAG, determinism, encapsulation,
+subscriber safety, API surface).
+
+The framework parses every module under the linted root **once**
+(:mod:`repro.tooling.parse`), runs a registry of whole-program visitor
+passes over the shared parse (:mod:`repro.tooling.passes`), and emits
+typed :class:`~repro.tooling.findings.Finding` records with per-line
+pragma suppression (``# worx: ok WORX103``) and a committed baseline
+for grandfathered findings.  ``repro-cli lint`` is the operator entry
+point; ``tests/test_tooling.py`` is the tier-1 gate.
+"""
+
+from repro.tooling.findings import (Finding, load_baseline,
+                                    render_baseline, write_baseline)
+from repro.tooling.layers import LAYER_MAP
+from repro.tooling.parse import ParsedModule, parse_count, parse_tree
+from repro.tooling.registry import (LintConfig, LintContext, LintPass,
+                                    all_passes, get_passes, register)
+from repro.tooling.runner import (JSON_SCHEMA_VERSION, LintResult,
+                                  default_config, refresh_baseline,
+                                  run_lint)
+
+__all__ = [
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LAYER_MAP",
+    "LintConfig",
+    "LintContext",
+    "LintPass",
+    "LintResult",
+    "ParsedModule",
+    "all_passes",
+    "default_config",
+    "get_passes",
+    "load_baseline",
+    "parse_count",
+    "parse_tree",
+    "refresh_baseline",
+    "register",
+    "render_baseline",
+    "run_lint",
+    "write_baseline",
+]

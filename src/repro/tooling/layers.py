@@ -1,0 +1,42 @@
+"""The declared layer map of the ``repro`` codebase (WORX101).
+
+Lower numbers are lower layers.  A module may import from its own
+package and from any package at the *same or lower* layer; importing
+upward is a layering violation.  Cycles are forbidden at any layer.
+
+    0  util, sim, tooling          pure substrate: no repro imports
+    1  hardware, procfs            the simulated machine
+    2  network, icebox, imaging,   device subsystems built on it
+       firmware, monitoring
+    3  events, remote, slurm       control-plane services
+    4  core                        the 3-tier server + facade internals
+    5  cli, repro/__init__         operator shell / public facade
+
+Keep this table in sync with the DESIGN.md "worxlint" section when a
+package is added or moved.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["LAYER_MAP"]
+
+LAYER_MAP: Mapping[str, int] = {
+    "util": 0,
+    "sim": 0,
+    "tooling": 0,
+    "hardware": 1,
+    "procfs": 1,
+    "network": 2,
+    "icebox": 2,
+    "imaging": 2,
+    "firmware": 2,
+    "monitoring": 2,
+    "events": 3,
+    "remote": 3,
+    "slurm": 3,
+    "core": 4,
+    "cli": 5,
+    "": 5,  # the repro/__init__.py facade
+}

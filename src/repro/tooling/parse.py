@@ -1,0 +1,114 @@
+"""The shared parse: every module under the linted root is read and
+``ast.parse``-d exactly once, no matter how many passes run.
+
+Passes never touch the filesystem or call :func:`ast.parse` themselves —
+they receive :class:`ParsedModule` objects carrying the tree, the source,
+and the pre-extracted pragma map.  :data:`PARSE_COUNT` counts calls to
+:func:`parse_file` so the test suite can assert the single-parse property
+instead of trusting it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional
+
+__all__ = ["ParsedModule", "PARSE_COUNT", "parse_count", "parse_file",
+           "parse_tree"]
+
+#: Total ast.parse invocations since import — the re-parse canary.
+PARSE_COUNT = 0
+
+#: ``# worx: ok`` / ``# worx: ok WORX103`` / ``# worx: ok WORX101, WORX105``
+_PRAGMA = re.compile(r"#\s*worx:\s*ok\b\s*([A-Za-z0-9_,\s]*)")
+
+
+def parse_count() -> int:
+    """Current value of the parse counter (read through a function so
+    tests are immune to ``from ... import`` snapshotting)."""
+    return PARSE_COUNT
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every pass."""
+
+    path: Path            #: absolute path on disk
+    rel: str              #: posix path relative to the linted root
+    module: str           #: dotted module name (``repro.sim.kernel``)
+    source: str
+    tree: ast.Module
+    #: physical line -> suppressed rule ids; ``None`` means *all* rules
+    #: (a bare ``# worx: ok``).
+    pragmas: Dict[int, Optional[FrozenSet[str]]] = field(
+        default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """Dotted package containing this module (itself if a package)."""
+        if self.module.endswith("__init__") or "." not in self.module:
+            return self.module.rsplit(".__init__", 1)[0]
+        return self.module.rsplit(".", 1)[0]
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        """True when a same-line pragma waives ``rule_id``."""
+        if line not in self.pragmas:
+            return False
+        rules = self.pragmas[line]
+        return rules is None or rule_id in rules
+
+
+def _extract_pragmas(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Suppression pragmas from *comment tokens only* — a pragma spelled
+    inside a string literal is data, not an annotation."""
+    pragmas: Dict[int, Optional[FrozenSet[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(tok.string)
+            if match is None:
+                continue
+            names = frozenset(
+                part.strip().upper()
+                for part in re.split(r"[,\s]+", match.group(1))
+                if part.strip())
+            pragmas[tok.start[0]] = names or None
+    except tokenize.TokenError:
+        pass  # ast.parse will report the real syntax problem
+    return pragmas
+
+
+def _module_name(rel: str) -> str:
+    parts = rel[:-3].split("/")  # strip ".py"
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def parse_file(path: Path, root: Path) -> ParsedModule:
+    """Read + parse one file; the only place ``ast.parse`` is called."""
+    global PARSE_COUNT
+    PARSE_COUNT += 1
+    rel = path.relative_to(root).as_posix()
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    return ParsedModule(path=path, rel=rel, module=_module_name(rel),
+                        source=source, tree=tree,
+                        pragmas=_extract_pragmas(source))
+
+
+def parse_tree(root: Path) -> List[ParsedModule]:
+    """Parse every ``*.py`` under ``root`` once, sorted by path."""
+    modules: List[ParsedModule] = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        modules.append(parse_file(path, root))
+    return modules

@@ -1,0 +1,15 @@
+"""The worxlint pass suite.  Importing this package registers every
+pass with :mod:`repro.tooling.registry`:
+
+    WORX101  layering        imports respect the layer map; no cycles
+    WORX102  determinism     no wall clocks / global RNG in sim code
+    WORX103  encapsulation   no reaching into foreign ``_private`` state
+    WORX104  subscriber-safety  store callbacks must not re-enter mutators
+    WORX105  api-surface     ``__all__`` resolves; imports use exports
+"""
+
+from repro.tooling.passes import (api_surface, determinism, encapsulation,
+                                  layering, subscribers)
+
+__all__ = ["api_surface", "determinism", "encapsulation", "layering",
+           "subscribers"]

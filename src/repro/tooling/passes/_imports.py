@@ -1,0 +1,91 @@
+"""Shared import extraction for the whole-program passes.
+
+One walk per module yields every ``import`` / ``from ... import`` with
+its resolved absolute target, the imported names, and whether the
+statement executes at module top level (function-local imports count for
+layering — they are still dependencies — but not for cycle detection,
+because deferring an import is exactly how a legitimate back-reference
+breaks a cycle).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.tooling.parse import ParsedModule
+
+__all__ = ["ImportedName", "ModuleImport", "iter_imports"]
+
+
+@dataclass(frozen=True)
+class ImportedName:
+    name: str                 #: name as written at the import site
+    asname: Optional[str]     #: local binding (``None`` = ``name``)
+
+    @property
+    def binding(self) -> str:
+        return self.asname or self.name.split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class ModuleImport:
+    """One import statement, normalised."""
+
+    target: str               #: absolute dotted module being imported
+    names: Tuple[ImportedName, ...]  #: () for ``import x`` forms
+    lineno: int
+    top_level: bool           #: executes at module scope
+    is_from: bool             #: ``from target import names``
+
+
+def _resolve_relative(module: ParsedModule, node: ast.ImportFrom) -> str:
+    """Absolute target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module or ""
+    base = module.package.split(".")
+    # level 1 = current package, each extra level pops one component.
+    base = base[: len(base) - (node.level - 1)]
+    if node.module:
+        base.append(node.module)
+    return ".".join(part for part in base if part)
+
+
+def iter_imports(module: ParsedModule) -> Iterator[ModuleImport]:
+    # Top level means "executes at module import time": the module body,
+    # module-level conditionals, and class bodies — everything except
+    # function bodies, where an import is deferred by construction.
+    stack: List[Tuple[ast.AST, bool]] = [(module.tree, True)]
+    while stack:
+        node, top = stack.pop()
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield ModuleImport(target=alias.name,
+                                   names=(),
+                                   lineno=node.lineno, top_level=top,
+                                   is_from=False)
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(module, node)
+            names = tuple(ImportedName(a.name, a.asname)
+                          for a in node.names)
+            yield ModuleImport(target=target, names=names,
+                               lineno=node.lineno, top_level=top,
+                               is_from=True)
+        child_top = top and not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        # ``if TYPE_CHECKING:`` bodies never execute: their imports are
+        # annotations-only and must not count as runtime (cycle) edges.
+        if child_top and isinstance(node, ast.If) \
+                and _is_type_checking(node.test):
+            child_top = False
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_top))
+
+
+def _is_type_checking(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False

@@ -1,0 +1,166 @@
+"""WORX105 — the API surface.
+
+Three checks keep a package's exported surface honest:
+
+* every name listed in a module's ``__all__`` must actually be defined
+  or imported in that module (a phantom export breaks ``import *`` and
+  lies to readers);
+* a *package-level* cross-package import (``from repro.slurm import
+  X`` written outside ``repro.slurm``) must name an exported symbol —
+  ``X`` must appear in that package's ``__all__``.  Deep submodule
+  imports are the layering pass's concern, not this one's;
+* importing an underscore-private name from another package is never
+  part of the surface, ``__all__`` or not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.tooling.findings import Finding
+from repro.tooling.parse import ParsedModule
+from repro.tooling.passes._imports import iter_imports
+from repro.tooling.registry import LintContext, LintPass, register
+
+__all__ = ["ApiSurfacePass"]
+
+
+def _dunder_all(tree: ast.Module) -> Optional[List[Tuple[str, int]]]:
+    """(name, lineno) pairs from ``__all__`` list/tuple literals,
+    including ``__all__ += [...]``; None when no ``__all__`` exists."""
+    entries: Optional[List[Tuple[str, int]]] = None
+    for node in tree.body:
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets):
+            value = node.value
+        elif isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Name) \
+                and node.target.id == "__all__":
+            value = node.value
+        if value is None:
+            continue
+        if entries is None:
+            entries = []
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) \
+                        and isinstance(elt.value, str):
+                    entries.append((elt.value, elt.lineno))
+    return entries
+
+
+def _defined_names(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Module-level bindings, and whether a star import blinds us."""
+    names: Set[str] = set()
+    has_star = False
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    has_star = True
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # one level of conditional definition (TYPE_CHECKING,
+            # optional-dependency guards) is enough for this codebase
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef, ast.ClassDef)):
+                    names.add(sub.name)
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            names.add(alias.asname or alias.name)
+                elif isinstance(sub, ast.Name) \
+                        and isinstance(sub.ctx, ast.Store):
+                    names.add(sub.id)
+    return names, has_star
+
+
+@register
+class ApiSurfacePass(LintPass):
+    rule_id = "WORX105"
+    title = "__all__ must resolve; cross-package imports use exports"
+    severity = "warning"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        exports: Dict[str, Set[str]] = {}
+        for module in ctx.modules:
+            entries = _dunder_all(module.tree)
+            if entries is not None and module.rel.endswith("__init__.py"):
+                exports[module.module] = {name for name, _ in entries}
+        yield from self._check_all_resolution(ctx)
+        yield from self._check_import_surface(ctx, exports)
+
+    def _check_all_resolution(self, ctx: LintContext
+                              ) -> Iterator[Finding]:
+        for module in ctx.modules:
+            entries = _dunder_all(module.tree)
+            if entries is None:
+                continue
+            defined, has_star = _defined_names(module.tree)
+            if has_star:
+                continue  # cannot prove anything past ``import *``
+            for name, lineno in entries:
+                if name in defined or name == "__version__":
+                    continue
+                yield Finding(
+                    path=module.rel, line=lineno,
+                    rule_id=self.rule_id,
+                    message=(f"__all__ lists {name!r} but the module "
+                             f"never defines or imports it"),
+                    severity=self.severity)
+
+    def _check_import_surface(self, ctx: LintContext,
+                              exports: Dict[str, Set[str]]
+                              ) -> Iterator[Finding]:
+        for module in ctx.modules:
+            component = ctx.component(module.module)
+            if component is None:
+                continue
+            for imp in iter_imports(module):
+                if not imp.is_from or not imp.names:
+                    continue
+                target_component = ctx.component(imp.target)
+                if target_component is None \
+                        or target_component == component:
+                    continue
+                for imported in imp.names:
+                    if imported.name == "*":
+                        continue
+                    if imported.name.startswith("_") and not (
+                            imported.name.startswith("__")
+                            and imported.name.endswith("__")):
+                        yield self.finding(
+                            module, imp,
+                            f"imports private name {imported.name!r} "
+                            f"from {imp.target}: private helpers are "
+                            f"not part of another package's surface")
+                        continue
+                    surface = exports.get(imp.target)
+                    if surface is None:
+                        continue  # deep module import, or no __all__
+                    if imported.name not in surface:
+                        yield self.finding(
+                            module, imp,
+                            f"{imported.name!r} is not exported by "
+                            f"{imp.target} (missing from its __all__); "
+                            f"import it from its defining module or "
+                            f"export it")

@@ -1,0 +1,129 @@
+"""The lint driver: one shared parse, every pass, central suppression.
+
+``run_lint`` parses the tree exactly once (asserted by the tier-1
+counting test), hands the same :class:`LintContext` to every registered
+pass, then partitions the raw findings three ways:
+
+* **suppressed** — a same-line ``# worx: ok [RULES]`` pragma waives it;
+* **baselined** — its ``rule:path:line`` key is grandfathered in the
+  committed baseline file;
+* **active** — everything else; any active finding fails the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.tooling.findings import Finding, write_baseline
+from repro.tooling.layers import LAYER_MAP
+from repro.tooling.parse import parse_tree
+from repro.tooling.registry import LintConfig, LintContext, get_passes
+
+__all__ = ["LintResult", "default_config", "run_lint",
+           "refresh_baseline", "JSON_SCHEMA_VERSION"]
+
+#: bumped only when the shape of ``LintResult.to_json`` changes.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over one tree."""
+
+    findings: List[Finding]              #: active — these fail the gate
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    modules: int = 0
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"worxlint: {len(self.findings)} finding(s) "
+            f"({len(self.suppressed)} suppressed, "
+            f"{len(self.baselined)} baselined) across "
+            f"{self.modules} modules")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "ok": self.ok,
+            "modules": self.modules,
+            "rules": list(self.rules),
+            "findings": [f.to_json() for f in sorted(self.findings)],
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+        }
+
+
+def default_config(root: Optional[Path] = None, *,
+                   baseline: Optional[Path] = None,
+                   rules: Optional[Set[str]] = None) -> LintConfig:
+    """The repo's own policy: the ``repro`` layer map, ``cli.py`` as the
+    sole wall-clock shell, and the committed baseline beside ``src/``."""
+    if root is None:
+        root = Path(__file__).resolve().parents[2]
+    if baseline is None:
+        candidate = root.parent / "worxlint.baseline"
+        baseline = candidate if candidate.is_file() else None
+    return LintConfig(root=root, package="repro", layers=dict(LAYER_MAP),
+                      determinism_shell=frozenset({"repro/cli.py"}),
+                      baseline=baseline,
+                      rules=frozenset(rules) if rules else None)
+
+
+def _load_baseline_keys(config: LintConfig) -> Set[str]:
+    from repro.tooling.findings import load_baseline
+    if config.baseline is None:
+        return set()
+    return load_baseline(config.baseline)
+
+
+def run_lint(config: LintConfig) -> LintResult:
+    """Parse once, run the selected passes, partition the findings."""
+    modules = parse_tree(config.root)
+    ctx = LintContext(config, modules)
+    by_rel = {m.rel: m for m in modules}
+    baseline_keys = _load_baseline_keys(config)
+    passes = get_passes(config.rules)
+
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    baselined: List[Finding] = []
+    for lint_pass in passes:
+        for finding in lint_pass.run(ctx):
+            module = by_rel.get(finding.path)
+            if module is not None and module.suppresses(
+                    finding.line, finding.rule_id):
+                suppressed.append(finding)
+            elif finding.key in baseline_keys:
+                baselined.append(finding)
+            else:
+                active.append(finding)
+    return LintResult(findings=sorted(active),
+                      suppressed=sorted(suppressed),
+                      baselined=sorted(baselined),
+                      modules=len(modules),
+                      rules=[p.rule_id for p in passes])
+
+
+def refresh_baseline(config: LintConfig, path: Path) -> LintResult:
+    """Re-grandfather: write every *active* finding into ``path``.
+
+    Prefer fixing or pragma-annotating findings; the baseline is for
+    landing a new rule before the tree is clean, not for hiding debt.
+    """
+    no_baseline = LintConfig(
+        root=config.root, package=config.package, layers=config.layers,
+        determinism_shell=config.determinism_shell, baseline=None,
+        rules=config.rules)
+    result = run_lint(no_baseline)
+    write_baseline(path, result.findings)
+    return result

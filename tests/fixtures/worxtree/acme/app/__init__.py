@@ -1,0 +1,5 @@
+"""Top application layer."""
+
+from acme.app.flows import Flow
+
+__all__ = ["Flow"]

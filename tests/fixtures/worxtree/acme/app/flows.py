@@ -1,0 +1,18 @@
+"""Application flows: one WORX103 and one WORX104 violation."""
+
+
+class Flow:
+    def __init__(self, name):
+        self.name = name
+
+
+def peek(store):
+    return store._hosts  # WORX103: foreign private state
+
+
+def attach(store):
+    def on_update(update):
+        store.apply(update)  # WORX104: mutator inside the publish loop
+
+    store.subscribe(on_update)
+    return on_update

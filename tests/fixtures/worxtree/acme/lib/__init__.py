@@ -1,0 +1,5 @@
+"""Lowest layer: the store every other layer builds on."""
+
+from acme.lib.store import Store
+
+__all__ = ["Store"]

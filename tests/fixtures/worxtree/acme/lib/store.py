@@ -1,0 +1,19 @@
+"""A miniature state store: subscribe/apply, private host map."""
+
+
+class Store:
+    def __init__(self):
+        self._hosts = {}
+        self._subs = []
+
+    def subscribe(self, callback):
+        self._subs.append(callback)
+        return callback
+
+    def apply(self, update):
+        self._hosts[update["host"]] = update
+        for callback in list(self._subs):
+            callback(update)
+
+    def hosts(self):
+        return dict(self._hosts)

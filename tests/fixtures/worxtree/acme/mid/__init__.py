@@ -1,0 +1,8 @@
+"""Middle layer.  ``__all__`` lists a phantom name: WORX105."""
+
+from acme.mid.clock import tick
+
+__all__ = [
+    "tick",
+    "missing",
+]

@@ -1,0 +1,7 @@
+"""Reads the wall clock from simulation code: WORX102."""
+
+import time
+
+
+def tick():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Imports a higher layer (mid -> app): WORX101."""
+
+from acme.app.flows import Flow
+
+
+def latest_flow():
+    return Flow("latest")

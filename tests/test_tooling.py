@@ -1,67 +1,69 @@
-"""Repo tooling smoke checks, run as part of the tier-1 suite."""
+"""Repo tooling gates, run as part of the tier-1 suite.
+
+The architectural invariants themselves (layering, determinism,
+encapsulation, subscriber safety, API surface) are enforced by the
+worxlint framework in :mod:`repro.tooling`; this module is the gate
+that runs it over ``src/`` and fails the build on any non-baselined
+finding.  The framework's own behaviour (pragmas, baselines, planted
+violations, single-parse) is covered in ``tests/test_worxlint.py``.
+"""
 
 import compileall
 import pathlib
-import re
-import sys
 
-SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+from repro.tooling import (default_config, load_baseline, run_lint)
 
-#: receiver._attr on something other than self/cls.  Same-module uses of a
-#: class's own internals are fine (Welford merge, sim-kernel event plumbing,
-#: NodeSet algebra, failover-pair cloning); everything else must go through
-#: a public method or property.
-_PRIVATE_ACCESS = re.compile(
-    r"(?<![\w.])([A-Za-z_][A-Za-z0-9_]*)\._([a-z][a-z0-9_]*)")
-
-#: file (relative to src/) -> attribute names a peer instance of the *same*
-#: class may legitimately touch there.
-_SAME_MODULE_OK = {
-    "repro/sim/kernel.py": {"enqueue", "ok", "value", "resume", "active"},
-    "repro/util/stats.py": {"mean", "m2"},
-    "repro/slurm/controller.py": {"nodes", "partitions", "reports"},
-    "repro/remote/nodeset.py": {"groups", "scalars"},
-}
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
 
 
-def _strip_comment(line):
-    # good enough for this codebase: '#' never appears inside a string
-    # on the same line as an attribute access we care about.
-    return line.split("#", 1)[0]
+def _render(findings):
+    return "\n".join(f.render() for f in findings)
+
+
+def test_worxlint_gate():
+    """Zero non-baselined findings across every WORX rule.
+
+    This is the tier-1 architectural gate: the layer DAG, SimKernel
+    determinism, encapsulation, subscriber safety, and the exported API
+    surface are all machine-checked on every test run.
+    """
+    result = run_lint(default_config(root=SRC))
+    assert result.ok, (
+        "worxlint found violations (fix them, or annotate an "
+        "intentional exception with `# worx: ok RULE` plus a "
+        "justification comment):\n" + _render(result.findings))
+
+
+def test_baseline_stays_empty():
+    """The committed baseline holds no grandfathered findings.
+
+    Intentional exceptions belong inline as ``# worx: ok RULE`` pragmas
+    with a justification, not as silent baseline entries; the baseline
+    exists only to let a *new* rule land before the tree is clean.
+    """
+    assert load_baseline(REPO / "worxlint.baseline") == set()
 
 
 def test_no_cross_module_private_attribute_access():
     """No reaching into another object's ``_private`` state from outside.
 
-    Guards the public APIs introduced for exactly this reason
-    (``EventEngine.active_events``, ``IceBox.disconnect_node``,
-    ``SlurmController.partitions``, ``TaskRun.worker_done``, ...): a grep
-    for ``receiver._attr`` where the receiver is not ``self``/``cls``,
-    with a short allowlist of same-module idioms.
+    Thin wrapper over the WORX103 pass — the scope-aware replacement
+    for the regex lint that used to live here (it understands
+    ``self``/``cls``, same-class peer access, and comprehension scopes,
+    and cannot be fooled by ``#`` inside string literals).
     """
-    offenders = []
-    for path in sorted(SRC.rglob("*.py")):
-        rel = path.relative_to(SRC).as_posix()
-        allowed = _SAME_MODULE_OK.get(rel, set())
-        for lineno, line in enumerate(
-                path.read_text().splitlines(), start=1):
-            for match in _PRIVATE_ACCESS.finditer(_strip_comment(line)):
-                receiver, attr = match.groups()
-                if receiver in ("self", "cls"):
-                    continue
-                if attr in allowed:
-                    continue
-                offenders.append(f"{rel}:{lineno}: {match.group(0)}")
-    assert not offenders, (
+    result = run_lint(default_config(root=SRC, rules={"WORX103"}))
+    assert result.rules == ["WORX103"]
+    assert not result.findings, (
         "cross-module private-attribute access (add a public API "
-        "instead):\n" + "\n".join(offenders))
+        "instead):\n" + _render(result.findings))
 
 
 def test_compileall_src():
     """Every module under src/ must byte-compile cleanly."""
-    src = pathlib.Path(__file__).resolve().parents[1] / "src"
-    assert src.is_dir()
-    ok = compileall.compile_dir(str(src), quiet=2, force=False)
+    assert SRC.is_dir()
+    ok = compileall.compile_dir(str(SRC), quiet=2, force=False)
     assert ok, "python -m compileall src failed"
 
 

@@ -1,0 +1,298 @@
+"""The worxlint framework's own behaviour.
+
+Covers: the planted-violation fixture tree (exactly one finding per
+WORX rule, exact ``rule:path:line``), pragma suppression, baseline
+load/refresh round-trip, the single-shared-parse property, JSON schema
+stability of ``--json``, and the string-literal regression that the old
+regex lint's ``_strip_comment`` mishandled.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.tooling import (Finding, LintConfig, default_config,
+                           load_baseline, parse_count, refresh_baseline,
+                           render_baseline, run_lint, write_baseline)
+
+FIXTURE = pathlib.Path(__file__).resolve().parent / "fixtures" / "worxtree"
+FIXTURE_LAYERS = {"lib": 0, "mid": 1, "app": 2, "": 3}
+
+#: the one planted violation per rule, by exact rule:path:line key.
+PLANTED = {
+    "WORX101": "WORX101:acme/mid/upward.py:3",
+    "WORX102": "WORX102:acme/mid/clock.py:7",
+    "WORX103": "WORX103:acme/app/flows.py:10",
+    "WORX104": "WORX104:acme/app/flows.py:15",
+    "WORX105": "WORX105:acme/mid/__init__.py:7",
+}
+
+
+def fixture_config(**kwargs):
+    return LintConfig(root=FIXTURE, package="acme",
+                      layers=dict(FIXTURE_LAYERS), **kwargs)
+
+
+def lint_snippet(tmp_path, source, *, rules=None, name="mod.py"):
+    """Lint a single-file tree holding ``source``."""
+    (tmp_path / name).write_text(textwrap.dedent(source))
+    config = LintConfig(root=tmp_path, package="pkg", layers={},
+                        rules=frozenset(rules) if rules else None)
+    return run_lint(config)
+
+
+# -- planted violations ------------------------------------------------------
+
+def test_one_finding_per_rule_with_exact_locations():
+    result = run_lint(fixture_config())
+    keys = sorted(f.key for f in result.findings)
+    assert keys == sorted(PLANTED.values())
+    by_rule = {f.rule_id: f for f in result.findings}
+    assert set(by_rule) == set(PLANTED)
+
+
+def test_rule_selection_runs_single_pass():
+    result = run_lint(fixture_config(rules=frozenset({"WORX102"})))
+    assert result.rules == ["WORX102"]
+    assert [f.key for f in result.findings] == [PLANTED["WORX102"]]
+
+
+# -- pragma suppression ------------------------------------------------------
+
+def test_pragma_suppresses_named_rule(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        import time
+
+        def tick():
+            return time.time()  # worx: ok WORX102 (intentional: demo)
+        """)
+    assert not result.findings
+    assert [f.rule_id for f in result.suppressed] == ["WORX102"]
+
+
+def test_pragma_for_other_rule_does_not_suppress(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        import time
+
+        def tick():
+            return time.time()  # worx: ok WORX101
+        """)
+    assert [f.rule_id for f in result.findings] == ["WORX102"]
+    assert not result.suppressed
+
+
+def test_bare_pragma_suppresses_every_rule(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        import time
+
+        def tick(store):
+            return time.time(), store._hosts  # worx: ok
+        """)
+    assert not result.findings
+    assert sorted(f.rule_id for f in result.suppressed) == \
+        ["WORX102", "WORX103"]
+
+
+def test_pragma_inside_string_literal_is_data_not_annotation(tmp_path):
+    """A pragma spelled in a string must not suppress anything."""
+    result = lint_snippet(tmp_path, """\
+        import time
+
+        def tick():
+            return time.time(), "# worx: ok WORX102"
+        """)
+    assert [f.rule_id for f in result.findings] == ["WORX102"]
+
+
+# -- baseline ----------------------------------------------------------------
+
+def test_baseline_roundtrip(tmp_path):
+    baseline = tmp_path / "worxlint.baseline"
+    first = refresh_baseline(fixture_config(), baseline)
+    assert len(first.findings) == len(PLANTED)
+    assert load_baseline(baseline) == set(PLANTED.values())
+
+    second = run_lint(fixture_config(baseline=baseline))
+    assert second.ok
+    assert sorted(f.key for f in second.baselined) == \
+        sorted(PLANTED.values())
+
+
+def test_baseline_render_load_identity(tmp_path):
+    findings = [
+        Finding(path="a/b.py", line=3, rule_id="WORX101", message="up"),
+        Finding(path="a/c.py", line=9, rule_id="WORX105", message="gone",
+                severity="warning"),
+    ]
+    path = tmp_path / "base"
+    write_baseline(path, findings)
+    assert load_baseline(path) == {f.key for f in findings}
+    # idempotent: re-rendering the same findings is byte-identical
+    assert path.read_text() == render_baseline(findings)
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope") == set()
+
+
+# -- single shared parse -----------------------------------------------------
+
+def test_every_file_parsed_exactly_once():
+    """All five passes run off one shared parse: the ast.parse counter
+    grows by exactly the number of files in the tree, never more."""
+    n_files = len([p for p in FIXTURE.rglob("*.py")
+                   if "__pycache__" not in p.parts])
+    before = parse_count()
+    result = run_lint(fixture_config())
+    assert len(result.rules) == 5
+    assert parse_count() - before == n_files == result.modules
+
+
+# -- JSON output -------------------------------------------------------------
+
+def test_cli_json_schema_and_planted_findings(capsys):
+    code = cli_main([
+        "lint", "--json", "--root", str(FIXTURE), "--package", "acme",
+        "--layers", "lib=0,mid=1,app=2,=3"])
+    assert code == 1  # active findings -> non-zero exit
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"version", "ok", "modules", "rules",
+                            "findings", "suppressed", "baselined"}
+    assert payload["version"] == 1
+    assert payload["ok"] is False
+    assert payload["rules"] == sorted(PLANTED)
+    assert payload["suppressed"] == 0 and payload["baselined"] == 0
+    findings = payload["findings"]
+    assert all(set(f) == {"rule", "path", "line", "severity", "message"}
+               for f in findings)
+    keys = sorted(f"{f['rule']}:{f['path']}:{f['line']}"
+                  for f in findings)
+    assert keys == sorted(PLANTED.values())
+
+
+def test_cli_text_mode_exit_codes(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 1\n")
+    code = cli_main(["lint", "--root", str(tmp_path),
+                     "--package", "pkg", "--layers", "=0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_cli_refresh_baseline(tmp_path, capsys):
+    baseline = tmp_path / "base"
+    code = cli_main([
+        "lint", "--root", str(FIXTURE), "--package", "acme",
+        "--layers", "lib=0,mid=1,app=2", "--refresh-baseline",
+        "--baseline", str(baseline)])
+    assert code == 0
+    assert load_baseline(baseline) == set(PLANTED.values())
+
+
+# -- regression: strings and comments ----------------------------------------
+
+def test_private_access_inside_string_is_not_flagged(tmp_path):
+    """The old regex lint's ``_strip_comment`` split on the first ``#``
+    even inside a string literal, corrupting lines like this one; the
+    AST pass must neither flag the string nor mangle the line."""
+    result = lint_snippet(tmp_path, """\
+        BANNER = "x._y  # hi"
+
+        def describe():
+            return "see x._y  # hi for details"
+        """, rules={"WORX103"})
+    assert not result.findings
+
+
+def test_real_access_after_hash_in_string_is_flagged(tmp_path):
+    """Dual of the above: a genuine violation on a line whose string
+    contains ``#`` must still be caught (the regex version lost
+    everything after the quote's hash)."""
+    result = lint_snippet(tmp_path, """\
+        def describe(obj):
+            return "x._y  # hi", obj._secret
+        """, rules={"WORX103"})
+    assert [f.rule_id for f in result.findings] == ["WORX103"]
+    assert result.findings[0].line == 2
+
+
+# -- scope awareness ---------------------------------------------------------
+
+def test_self_cls_and_same_class_peer_access_allowed(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        class Welford:
+            def __init__(self):
+                self._mean = 0.0
+                self._m2 = 0.0
+
+            @classmethod
+            def make(cls):
+                cls._registry = []
+                return cls()
+
+            def merge(self, other):
+                self._mean += other._mean          # same-class peer
+                self._m2 += other._m2
+                return [o._mean for o in (self, other)]  # comprehension
+        """, rules={"WORX103"})
+    assert not result.findings
+
+
+def test_foreign_private_access_flagged_in_comprehension(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        def drain(stores):
+            return [s._hosts for s in stores]
+        """, rules={"WORX103"})
+    assert [f.rule_id for f in result.findings] == ["WORX103"]
+
+
+def test_subscriber_method_callback_resolved(tmp_path):
+    """WORX104 resolves ``self.<method>`` callbacks and flags mutators
+    reached through them; detaching (cancel/unsubscribe) stays legal."""
+    result = lint_snippet(tmp_path, """\
+        class Server:
+            def __init__(self, store):
+                self.store = store
+                store.subscribe(self._on_update)
+
+            def _on_update(self, update):
+                if update.stale:
+                    self.store.forget(update.hostname)
+        """, rules={"WORX104"})
+    assert [f.rule_id for f in result.findings] == ["WORX104"]
+    assert result.findings[0].line == 8
+
+
+def test_subscriber_detach_is_not_flagged(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        def attach(store):
+            def once(update):
+                handle.cancel()
+
+            handle = store.subscribe(once)
+        """, rules={"WORX104"})
+    assert not result.findings
+
+
+def test_import_cycle_detected(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "pkg" / "alpha.py").write_text(
+        "from pkg.beta import B\n\nA = 1\n")
+    (tmp_path / "pkg" / "beta.py").write_text(
+        "from pkg.alpha import A\n\nB = 2\n")
+    config = LintConfig(root=tmp_path, package="pkg",
+                        layers={"": 0}, rules=frozenset({"WORX101"}))
+    result = run_lint(config)
+    assert len(result.findings) == 1
+    assert "import cycle" in result.findings[0].message
+    assert "pkg.alpha" in result.findings[0].message
+
+
+def test_default_config_points_at_src():
+    config = default_config()
+    assert (config.root / "repro" / "tooling").is_dir()
+    assert config.package == "repro"
