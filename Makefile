@@ -4,7 +4,7 @@
 PYTHON    ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test bench baseline
+.PHONY: check lint test bench baseline chaos
 
 check: lint test
 
@@ -19,6 +19,11 @@ test:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Self-healing drill: inject a mixed fault campaign and fail unless
+# every fault reaches a terminal outcome with zero defused errors.
+chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli chaos --nodes 40 --faults 12
 
 # Grandfather the current findings into worxlint.baseline so a new rule
 # can land before the tree is clean.  Prefer fixing, or an inline

@@ -13,6 +13,9 @@ cluster substrate:
 * :mod:`repro.imaging` — images + reliable multicast cloning (§4)
 * :mod:`repro.monitoring` — gather/consolidate/transmit pipeline (§5.1/5.3)
 * :mod:`repro.events` — thresholds, actions, smart notification (§5.2)
+* :mod:`repro.remote` — NodeSet algebra + parallel fan-out engine
+* :mod:`repro.resilience` — health state machine, recovery playbooks,
+  circuit breakers, chaos campaigns
 * :mod:`repro.core` — the 3-tier server and the :class:`ClusterWorX` facade
 * :mod:`repro.slurm` — the SLURM-lite resource manager of §6
 

@@ -6,6 +6,7 @@ runs it to completion, and prints the operator-facing view:
     python -m repro.cli demo    --nodes 20 --seconds 300
     python -m repro.cli clone   --nodes 100 --image compute-harddisk
     python -m repro.cli drill   --nodes 10
+    python -m repro.cli chaos   --nodes 40 --faults 12
     python -m repro.cli ladder
     python -m repro.cli slurm   --nodes 16 --jobs 12
 
@@ -98,7 +99,8 @@ def _cmd_clone(args) -> int:
     print(f"image   : {report.image.name} gen {report.image.generation} "
           f"({report.image.size / 2**30:.2f} GiB)")
     print(f"cloned  : {len(report.cloned)}/{report.targets} nodes")
-    print(f"skipped : {len(report.skipped)}")
+    print(f"skipped : {len(report.skipped)} | failed : "
+          f"{len(report.failed)}")
     print(f"time    : {fmt_duration(report.total_seconds)} simulated "
           f"(stream {report.stream_seconds:.0f} s, repair "
           f"{report.repair_seconds:.0f} s) in {wall:.2f} s wall")
@@ -296,6 +298,30 @@ def _cmd_lint(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    """Run a fault campaign against a self-healing cluster."""
+    from repro import ClusterWorX
+    from repro.hardware.faults import FaultKind
+    from repro.resilience import ChaosCampaign
+
+    kinds = tuple(args.kinds.split(",")) if args.kinds else FaultKind.ALL
+    unknown = set(kinds) - set(FaultKind.ALL)
+    if unknown:
+        print(f"chaos: unknown fault kind(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+    cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                      monitor_interval=args.interval, self_healing=True)
+    campaign = ChaosCampaign(cwx, n_faults=args.faults, kinds=kinds,
+                             horizon=args.horizon, settle=args.settle)
+    wall0 = time.perf_counter()
+    report = campaign.execute()
+    wall = time.perf_counter() - wall0
+    print(report.render())
+    print(f"simulated {cwx.kernel.now:.0f} s in {wall:.2f} s wall")
+    return 0 if report.ok else 1
+
+
 def _cmd_exec(args) -> int:
     from repro import ClusterWorX
     from repro.remote import NodeSetParseError
@@ -411,6 +437,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="layer map for a non-repro tree, e.g. "
                         "'lib=0,mid=1,app=2' ('' names the facade)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("chaos",
+                       help="inject a fault campaign, score self-healing")
+    p.add_argument("--nodes", type=int, default=40,
+                   help="cluster size to simulate")
+    p.add_argument("--faults", type=int, default=12,
+                   help="faults to inject (distinct victims)")
+    p.add_argument("--kinds", default=None, metavar="K1,K2",
+                   help="comma-separated fault kinds "
+                        "(default: every kind)")
+    p.add_argument("--horizon", type=float, default=900.0,
+                   help="injection window (simulated seconds)")
+    p.add_argument("--settle", type=float, default=2700.0,
+                   help="post-injection settle time for playbooks")
+    p.add_argument("--interval", type=float, default=15.0,
+                   help="agent monitoring interval")
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("exec",
                        help="fan a command out over a simulated cluster")

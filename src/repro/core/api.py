@@ -43,7 +43,8 @@ class ClusterWorX:
                  monitor_interval: float = 5.0,
                  deadband: float = 0.0,
                  segment_capacity: float = 12.5e6,
-                 plugin_dir: Optional[str] = None):
+                 plugin_dir: Optional[str] = None,
+                 self_healing: bool = False):
         self.kernel = SimKernel()
         self.streams = RandomStreams(seed)
         self.cluster = Cluster(self.kernel, n_nodes, name=name,
@@ -55,9 +56,15 @@ class ClusterWorX:
         self.email = EmailGateway()
         self.notifier = SmartNotifier(self.kernel, name,
                                       gateways=[self.email])
+        # Staleness thresholds scale with the agent cadence: a couple of
+        # missed reports is suspicious, five is evidence (hard state
+        # changes are still caught at sweep cadence regardless).
         self.server = ClusterWorXServer(self.kernel, self.cluster,
                                         registry=self.registry,
-                                        notifier=self.notifier)
+                                        notifier=self.notifier,
+                                        self_healing=self_healing,
+                                        suspect_after=2.5 * monitor_interval,
+                                        down_after=5.0 * monitor_interval)
         self.monitor_interval = monitor_interval
         self.agents: Dict[str, NodeAgent] = {}
         for node in self.cluster.nodes:

@@ -32,6 +32,9 @@ from repro.imaging.multicast_clone import MulticastCloner
 from repro.monitoring.history import HistoryStore
 from repro.monitoring.monitors import MonitorRegistry, builtin_registry
 from repro.remote.engine import TaskEngine
+from repro.resilience.health import HealthState, HealthTracker
+from repro.resilience.orchestrator import (RecoveryChannels,
+                                           RecoveryOrchestrator)
 from repro.sim import SimKernel
 
 __all__ = ["ClusterWorXServer"]
@@ -44,7 +47,12 @@ class ClusterWorXServer:
                  registry: Optional[MonitorRegistry] = None,
                  notifier: Optional[SmartNotifier] = None,
                  history_capacity: int = 4096,
-                 sweep_interval: float = 10.0):
+                 sweep_interval: float = 10.0,
+                 self_healing: bool = False,
+                 suspect_after: float = 30.0,
+                 down_after: float = 60.0,
+                 recovery_image: str = "compute-harddisk",
+                 probe_timeout: float = 15.0):
         self.kernel = kernel
         self.cluster = cluster
         self.registry = registry if registry is not None \
@@ -73,6 +81,32 @@ class ClusterWorXServer:
         self.store = StateStore()
         self.store.subscribe(self.history.ingest, name="history")
         self.store.subscribe(self._feed_engine, name="events")
+        # -- self-healing loop (repro.resilience) ------------------------
+        #: gate for the whole loop: with it off (the default) the tracker
+        #: never observes evidence and behavior is identical to before.
+        self.self_healing = self_healing
+        self.recovery_image = recovery_image
+        self.probe_timeout = probe_timeout
+        self.health = HealthTracker(kernel, suspect_after=suspect_after,
+                                    down_after=down_after)
+        self.health.add_listener(self._on_health_transition)
+        self.recovery = RecoveryOrchestrator(
+            kernel, self.health,
+            RecoveryChannels(
+                node=cluster.node,
+                probe=self._probe_node,
+                ice_reset=self._ice_reset,
+                power_cycle=self._power_cycle,
+                reclone=self._reclone_node,
+                drain=self._drain_node,
+                notify=self._notify_quarantine,
+                breaker_scope=self._breaker_scope),
+            rng=cluster.streams("resilience"))
+        self.engine.add_listener(self._on_event_fired)
+        #: optional resource manager (quarantine drains through it).
+        self._slurm = None
+        #: staleness baseline for nodes whose agent has never reported.
+        self._health_epoch: Optional[float] = None
         self.updates_received = 0
         self.queries_served = 0
         self._sweep_seq = 0
@@ -102,6 +136,8 @@ class ClusterWorXServer:
         state and rollup contributions, freshness, history series,
         console archive, and per-node event-engine state.  Without this
         a hot-removed node leaks into summaries and queries forever."""
+        self.recovery.forget(hostname)   # abort any live playbook first
+        self.health.forget(hostname)
         self.store.forget(hostname)
         self.history.forget(hostname)
         self._console_archive.pop(hostname, None)
@@ -160,6 +196,8 @@ class ClusterWorXServer:
         if self._sweeping:
             return
         self._sweeping = True
+        if self._health_epoch is None:
+            self._health_epoch = self.kernel.now
         self.kernel.process(self._sweep_loop(), name="cwx-sweep")
 
     def stop_sweep(self) -> None:
@@ -168,7 +206,11 @@ class ClusterWorXServer:
     def _sweep_loop(self):
         while self._sweeping:
             now = self.kernel.now
-            for node in self.cluster.nodes:
+            # Snapshot the membership: a health transition observed
+            # mid-sweep can trigger forget_node from a subscriber.
+            for node in list(self.cluster.nodes):
+                if not self.store.is_tracked(node.hostname):
+                    continue  # hot-removed earlier in this same pass
                 reachable = 1 if (node.is_running()
                                   and node.state is not NodeState.HUNG
                                   and node.nic.health > 0.05) else 0
@@ -182,7 +224,22 @@ class ClusterWorXServer:
                         values={"udp_echo": reachable,
                                 "node_state": node.state.value},
                         source="sweep", seq=self._sweep_seq))
+                if self.self_healing:
+                    self.health.evaluate(
+                        node.hostname,
+                        age=self._staleness_age(node.hostname),
+                        reachable=bool(reachable),
+                        node_state=node.state.value)
             yield self.kernel.timeout(self.sweep_interval)
+
+    def _staleness_age(self, hostname: str) -> float:
+        """Seconds since the node's agent last reported; agents that
+        never reported age from the sweep epoch."""
+        last = self.store.last_agent_seen(hostname)
+        if last is None:
+            last = self._health_epoch if self._health_epoch is not None \
+                else self.kernel.now
+        return max(self.kernel.now - last, 0.0)
 
     # -- tier-3 queries ------------------------------------------------------
     def current(self, hostname: str) -> Mapping[str, object]:
@@ -277,3 +334,96 @@ class ClusterWorXServer:
             targets = [self.cluster.node(h) for h in hostnames]
         self.images.assign(targets, image_name)
         return self.cloner.clone(targets, image, reboot=reboot)
+
+    # -- self-healing loop (repro.resilience wiring) -------------------------
+    def attach_slurm(self, controller) -> None:
+        """Connect a resource manager so quarantine can drain nodes."""
+        self._slurm = controller
+
+    def _on_health_transition(self, hostname: str, old: HealthState,
+                              new: HealthState, reason: str) -> None:
+        """HealthTracker listener: publish degradations as synthetic
+        monitoring updates and hand ``down`` nodes to the orchestrator."""
+        if new in (HealthState.SUSPECT, HealthState.DOWN):
+            self._sweep_seq += 1
+            self.ingest(Update(
+                hostname=hostname, time=self.kernel.now,
+                values={"health_state": new.value,
+                        "last_seen_age": self._staleness_age(hostname)},
+                source="health", seq=self._sweep_seq))
+        if new is HealthState.DOWN and self.self_healing:
+            self.recovery.recover(hostname, reason)
+
+    def _on_event_fired(self, event, rule) -> None:
+        """EventEngine listener: critical firings are health evidence."""
+        if self.self_healing:
+            self.health.note_event(event.node, event.rule, rule.severity)
+
+    # -- recovery channels (what a playbook may do to a node) ----------------
+    def _probe_node(self, hostname: str):
+        """Playbook rung 1: one fan-out echo against the node."""
+        task = self.remote.run("echo alive", [hostname],
+                               timeout=self.probe_timeout, retries=0)
+        yield task.done
+        result = task.results.get(hostname)
+        return bool(result is not None and result.ok)
+
+    def _ice_reset(self, hostname: str) -> str:
+        """Playbook rung 2: assert the ICE Box reset line."""
+        return self.power(hostname, "reset")
+
+    def _power_cycle(self, hostname: str) -> str:
+        """Playbook rung 3: power-cycle the node's outlet."""
+        return self.power(hostname, "cycle")
+
+    def _reclone_node(self, hostname: str):
+        """Playbook rung 4: reclone the node's assigned (or the default
+        recovery) image and reboot it into it."""
+        node = self.cluster.node(hostname)
+        image = self.images.assigned_image(node)
+        if image is None:
+            try:
+                image = self.images.get(self.recovery_image)
+            except KeyError:
+                return (False, "no recovery image available")
+        if not node.is_running():
+            # The clone stream needs a running OS buffering it; try to
+            # bring the node up first (the rung fails if it can't boot).
+            located = self.cluster.locate(node)
+            if located is not None:
+                box, port = located
+                box.power.power_cycle(port)
+            up = node.wait_state(NodeState.UP)
+            fired = yield self.kernel.any_of(
+                [up, self.kernel.timeout(120.0)])
+            if up not in fired:
+                return (False, "node failed to boot for recloning")
+        report = yield self.clone_image(image.name, [hostname])
+        if hostname in report.cloned:
+            return (True, f"recloned {image.name}")
+        return (False, "reclone did not complete")
+
+    def _drain_node(self, hostname: str, reason: str) -> None:
+        """Quarantine step: detach the node from the resource manager."""
+        if self._slurm is not None:
+            self._slurm.drain(hostname, reason)
+
+    def _notify_quarantine(self, hostname: str, reason: str) -> None:
+        """Quarantine step: page the operator (deduplicated upstream by
+        the smart notifier until the event clears)."""
+        self.notifier.event_triggered("node-quarantined", hostname,
+                                      "quarantine", "critical")
+
+    def _breaker_scope(self, channel: str, hostname: str) -> Optional[str]:
+        """Circuit-breaker key: one breaker per physical ICE Box (a dead
+        controller affects all its ports), one for the imaging path."""
+        if channel == "icebox":
+            try:
+                node = self.cluster.node(hostname)
+            except KeyError:
+                return None
+            located = self.cluster.locate(node)
+            return f"icebox:{located[0].name}" if located else None
+        if channel == "imaging":
+            return "imaging"
+        return None

@@ -133,6 +133,10 @@ class StateStore:
     def __init__(self):
         self._hosts: Dict[str, Dict[str, object]] = {}
         self._last_update: Dict[str, float] = {}
+        #: freshness of *tier-1* (agent) updates only.  Sweep echoes and
+        #: server-synthesized metrics must not be able to keep a dead
+        #: node looking fresh — the health tracker reads this map.
+        self._last_agent: Dict[str, float] = {}
         self._tracked: Set[str] = set()
         self._generation = 0
         self._time = 0.0
@@ -175,6 +179,7 @@ class StateStore:
         freshness — the hot-remove path."""
         self._tracked.discard(hostname)
         self._last_update.pop(hostname, None)
+        self._last_agent.pop(hostname, None)
         old = self._hosts.get(hostname)
         if old is None:
             return
@@ -186,6 +191,10 @@ class StateStore:
     @property
     def tracked(self) -> Set[str]:
         return set(self._tracked)
+
+    def is_tracked(self, hostname: str) -> bool:
+        """O(1) membership test (the sweep's hot-remove guard)."""
+        return hostname in self._tracked
 
     # -- write path ---------------------------------------------------------
     def apply(self, update: Update) -> Update:
@@ -202,6 +211,8 @@ class StateStore:
         self._fork_if_frozen()
         self._hosts[host] = merged
         self._last_update[host] = update.time
+        if update.source == "agent":
+            self._last_agent[host] = update.time
         self._time = max(self._time, update.time)
         self._generation += 1
         self.updates_applied += 1
@@ -278,6 +289,10 @@ class StateStore:
 
     def last_seen(self, hostname: str) -> Optional[float]:
         return self._last_update.get(hostname)
+
+    def last_agent_seen(self, hostname: str) -> Optional[float]:
+        """When the node's *agent* last reported (staleness source)."""
+        return self._last_agent.get(hostname)
 
     def snapshot(self) -> Snapshot:
         """The versioned all-hosts view; O(1), shared until a write."""

@@ -64,6 +64,14 @@ class EventEngine:
         #: means a delta without a metric implies "same as before".
         self._last: Dict[Tuple[str, str], object] = {}
         self.fired: List[FiredEvent] = []
+        #: fn(fired_event, rule) called after every firing — the hook
+        #: the health tracker uses to treat critical events as evidence.
+        self._listeners: List = []
+
+    def add_listener(self, listener) -> None:
+        """Register ``fn(fired: FiredEvent, rule: ThresholdRule)`` to be
+        called synchronously after each rule firing."""
+        self._listeners.append(listener)
 
     # -- rule management ----------------------------------------------------
     def add_rule(self, rule: ThresholdRule) -> None:
@@ -152,6 +160,10 @@ class EventEngine:
                         self.notifier.event_cleared(rule.name,
                                                     node.hostname)
         self.fired.extend(fired)
+        for event in fired:
+            rule = self._rules.get(event.rule)
+            for listener in list(self._listeners):
+                listener(event, rule)
         return fired
 
     def _fire(self, rule: ThresholdRule, node: SimulatedNode,

@@ -158,6 +158,10 @@ class SimulatedNode:
             return
         if self.powered:
             return
+        if self.psu.failed:
+            # A dead supply delivers nothing: the outlet can be live but
+            # the board never comes up (§3.2 power-probe scenario).
+            return
         self.psu.switch_on(now)
         self.thermal.set_temperature(now, self.thermal.spec.ambient)
         self._set_state(NodeState.BOOTING)
@@ -195,6 +199,10 @@ class SimulatedNode:
     def reset(self) -> None:
         """Hardware reset line (ICE Box): reboot without power cycling."""
         if self.state in (NodeState.OFF, NodeState.BURNED):
+            return
+        if self.psu.failed:
+            # No supply, no boot: the reset line is asserted but the
+            # board has nothing to restart with.
             return
         if self._boot_process is not None and self._boot_process.is_alive:
             self._boot_process.interrupt("reset")

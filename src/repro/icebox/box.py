@@ -39,6 +39,16 @@ class IceBox:
         self.ports: List[SerialPort] = [
             SerialPort(kernel, i) for i in range(PowerController.N_NODE_OUTLETS)]
         self._nodes: Dict[int, SimulatedNode] = {}
+        #: a dead controller answers nothing — chaos campaigns flip this
+        #: to exercise the orchestrator's circuit breakers.
+        self.healthy = True
+
+    def fail(self) -> None:
+        """Kill the embedded controller (management path goes silent)."""
+        self.healthy = False
+
+    def repair(self) -> None:
+        self.healthy = True
 
     # -- topology -------------------------------------------------------
     def connect_node(self, port: int, node: SimulatedNode) -> None:
@@ -96,6 +106,8 @@ class IceBox:
     def execute(self, command: str) -> str:
         """Run one management command; never raises, returns OK/ERR text."""
         try:
+            if not self.healthy:
+                return "ERR: no response"
             return self._dispatch(command.strip())
         except (KeyError, IndexError, ValueError) as exc:
             return f"ERR: {exc}"

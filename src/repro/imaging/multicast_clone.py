@@ -51,7 +51,11 @@ class CloneReport:
     finished_at: float = 0.0
     targets: int = 0
     cloned: List[str] = field(default_factory=list)
+    #: not running when the run started — never participated.
     skipped: List[str] = field(default_factory=list)
+    #: participated but did not finish: died mid-stream, starved the
+    #: repair phase past its timeout, or failed the post-clone reboot.
+    failed: List[str] = field(default_factory=list)
     repaired_blocks: Dict[str, int] = field(default_factory=dict)
     repair_bytes: int = 0
 
@@ -74,15 +78,21 @@ class MulticastCloner:
     def __init__(self, kernel: SimKernel, fabric: NetworkFabric,
                  master: SimulatedNode, *, rng: np.random.Generator,
                  loss_rate: float = 0.002,
-                 protocol_efficiency: float = 0.45):
+                 protocol_efficiency: float = 0.45,
+                 repair_timeout: float = 120.0):
         if not 0 < protocol_efficiency <= 1:
             raise ValueError("protocol_efficiency must be in (0, 1]")
+        if repair_timeout <= 0:
+            raise ValueError("repair_timeout must be > 0")
         self.kernel = kernel
         self.fabric = fabric
         self.master = master
         self.rng = rng
         self.loss_rate = loss_rate
         self.protocol_efficiency = protocol_efficiency
+        #: bound on one node's peer-repair turn: a node that dies (or a
+        #: NIC that stalls) mid-repair must not wedge the whole run.
+        self.repair_timeout = repair_timeout
 
     def clone(self, targets: Sequence[SimulatedNode], image: DiskImage, *,
               reboot: bool = True) -> Process:
@@ -118,12 +128,15 @@ class MulticastCloner:
             missing[host] = {b for b in missing[host] if b < image.n_blocks}
         report.stream_done_at = self.kernel.now
 
-        # Phase 2: round-robin acknowledge + peer-to-peer repair.
+        # Phase 2: round-robin acknowledge + peer-to-peer repair.  Each
+        # turn is bounded: a node dying mid-repair fails out of the run
+        # instead of stalling everyone behind it in the round-robin.
         for node in live:
             yield self.kernel.timeout(ACK_TIME)
             if not node.is_running():
-                # Died while buffering: drop from the run.
-                report.skipped.append(node.hostname)
+                # Died while buffering: it consumed stream data, so it
+                # failed the run (vs. never having participated).
+                report.failed.append(node.hostname)
                 continue
             lost = missing.get(node.hostname, set())
             if lost:
@@ -132,33 +145,39 @@ class MulticastCloner:
                 report.repair_bytes += nbytes
                 done = self.fabric.unicast(self.master, node, nbytes,
                                            tag="clone-repair")
-                yield done
+                fired = yield self.kernel.any_of(
+                    [done, self.kernel.timeout(self.repair_timeout)])
+                if done not in fired:
+                    report.failed.append(node.hostname)
         report.ack_done_at = self.kernel.now
 
         # Phase 3: local clone + reboot, all nodes in parallel.
         finishers = []
         for node in live:
-            if node.hostname in report.skipped:
+            if node.hostname in report.failed:
                 continue
-            finishers.append(self.kernel.process(
+            finishers.append((node, self.kernel.process(
                 self._finish_node(node, image, reboot),
-                name=f"clone-local:{node.hostname}"))
-        results = yield self.kernel.all_of(finishers)
-        for event in finishers:
-            host = results.get(event)
-            if host is not None:
-                report.cloned.append(host)
+                name=f"clone-local:{node.hostname}")))
+        results = yield self.kernel.all_of(p for _, p in finishers)
+        for node, event in finishers:
+            status = results.get(event)
+            if status == "cloned":
+                report.cloned.append(node.hostname)
+            elif status == "failed":
+                report.failed.append(node.hostname)
+            # "diskless" stays uncounted: NFS-root, nothing to clone.
         report.finished_at = self.kernel.now
         return report
 
     def _finish_node(self, node: SimulatedNode, image: DiskImage,
                      reboot: bool):
         if node.disk is None:
-            return None  # diskless nodes NFS-boot; nothing to clone
+            return "diskless"  # diskless nodes NFS-boot; nothing to clone
         # Local write of the buffered image to disk.
         yield self.kernel.timeout(node.disk.write_time(image.size))
         if not node.is_running():
-            return None
+            return "failed"
         node.disk.install_image(image.name, image.generation,
                                 image.checksum, image.size)
         if reboot:
@@ -166,5 +185,5 @@ class MulticastCloner:
             reached = yield node.wait_state(NodeState.UP, NodeState.CRASHED,
                                             NodeState.OFF, NodeState.BURNED)
             if reached is not NodeState.UP:
-                return None
-        return node.hostname
+                return "failed"
+        return "cloned"

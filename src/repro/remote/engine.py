@@ -48,9 +48,12 @@ class TaskRun:
 
     def __init__(self, engine: "TaskEngine", command: Command,
                  nodes: NodeSet, *, fanout: int, timeout: Optional[float],
-                 retries: int, backoff: float, failure_policy: str):
+                 retries: int, backoff: float, jitter: float,
+                 failure_policy: str):
         if fanout < 1:
             raise ValueError("fanout must be >= 1")
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
         if failure_policy not in ("continue", "abort"):
             raise ValueError(f"unknown failure policy {failure_policy!r}")
         self.engine = engine
@@ -60,6 +63,7 @@ class TaskRun:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.jitter = jitter
         self.failure_policy = failure_policy
 
         kernel = engine.kernel
@@ -159,6 +163,7 @@ class TaskEngine:
                  fanout: int = DEFAULT_FANOUT,
                  command_timeout: Optional[float] = 120.0,
                  retries: int = 0, retry_backoff: float = 1.0,
+                 retry_jitter: float = 0.25,
                  failure_policy: str = "continue", rng=None):
         self.kernel = kernel
         self.cluster = cluster
@@ -169,6 +174,9 @@ class TaskEngine:
         self.command_timeout = command_timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        #: max fractional spread on retry backoff; draws come from the
+        #: engine rng so identical seeds give identical schedules.
+        self.retry_jitter = retry_jitter
         self.failure_policy = failure_policy
         self.runs: List[TaskRun] = []
 
@@ -193,6 +201,7 @@ class TaskEngine:
             timeout: Optional[float] = -1,
             retries: Optional[int] = None,
             backoff: Optional[float] = None,
+            jitter: Optional[float] = None,
             failure_policy: Optional[str] = None) -> TaskRun:
         """Schedule ``command`` against every node; returns immediately.
 
@@ -205,6 +214,7 @@ class TaskEngine:
             timeout=self.command_timeout if timeout == -1 else timeout,
             retries=retries if retries is not None else self.retries,
             backoff=backoff if backoff is not None else self.retry_backoff,
+            jitter=jitter if jitter is not None else self.retry_jitter,
             failure_policy=failure_policy if failure_policy is not None
             else self.failure_policy)
         self.runs.append(task)

@@ -94,10 +94,10 @@ def node_worker(run, hostname: str) -> Generator[object, object, None]:
                 return
             delay = run.backoff * (2 ** (result.attempts - 1))
             rng = run.engine.rng
-            if rng is not None:
+            if rng is not None and run.jitter > 0:
                 # decorrelate retry storms; draws come from the dedicated
                 # "remote" stream so other subsystems' seeds are untouched
-                delay *= 1.0 + float(rng.uniform(0.0, 0.25))
+                delay *= 1.0 + float(rng.uniform(0.0, run.jitter))
             yield kernel.timeout(delay)
     except Interrupt:
         result.status = STATUS_ABORTED

@@ -1,0 +1,321 @@
+"""The recovery orchestrator: escalating playbooks on the SimKernel.
+
+One :class:`RecoveryOrchestrator` supervises every unhealthy node.  When
+the health tracker marks a node ``down``, :meth:`~RecoveryOrchestrator.
+recover` spawns a *playbook* process that climbs the escalation ladder
+(:data:`~repro.resilience.playbook.DEFAULT_PLAYBOOK`) — probe, ICE Box
+reset, power cycle, reclone, quarantine — with every rung governed by
+the shared :class:`~repro.resilience.policy.RetryPolicy` and a
+per-channel :class:`~repro.resilience.policy.CircuitBreaker`.
+
+The orchestrator talks to the rest of the framework exclusively through
+:class:`RecoveryChannels` — a bundle of callables the ClusterWorX server
+supplies — so this module depends on nothing above the hardware layer
+and cannot create an import cycle with :mod:`repro.core`.
+
+A playbook never lets an exception escape into the kernel: channel
+failures are recorded on :attr:`RecoveryOrchestrator.errors` and count
+as rung failures, exactly like the fan-out worker's contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.node import NodeState
+from repro.resilience.health import HealthState, HealthTracker
+from repro.resilience.playbook import DEFAULT_PLAYBOOK, Rung
+from repro.resilience.policy import CircuitBreaker, RetryPolicy
+from repro.sim import Interrupt, ProcessKilled, SimKernel
+
+__all__ = ["RecoveryChannels", "RecoveryOrchestrator", "RecoveryRecord",
+           "RungAttempt"]
+
+
+@dataclass
+class RecoveryChannels:
+    """Everything a playbook may do to a node, as injected callables.
+
+    ``probe``/``reclone`` may return a generator (driven on the kernel);
+    the others return a protocol string (``OK...``/``ERR...``), a bool,
+    or ``None``.  Unset channels make their rung report "unavailable"
+    and the ladder degrades to the next rung.
+    """
+
+    #: hostname -> SimulatedNode (raises KeyError for unknown hosts).
+    node: Callable[[str], object]
+    probe: Optional[Callable[[str], object]] = None
+    ice_reset: Optional[Callable[[str], object]] = None
+    power_cycle: Optional[Callable[[str], object]] = None
+    reclone: Optional[Callable[[str], object]] = None
+    #: drain(hostname, reason) — detach the node from the resource manager.
+    drain: Optional[Callable[[str, str], object]] = None
+    #: notify(hostname, reason) — page the operator (smart notification).
+    notify: Optional[Callable[[str, str], object]] = None
+    #: (channel class, hostname) -> breaker scope key, or None for "no
+    #: breaker".  Lets icebox rungs share one breaker per physical box.
+    breaker_scope: Optional[Callable[[str, str], Optional[str]]] = None
+
+
+@dataclass
+class RungAttempt:
+    """One attempt of one rung (including skips), for the audit trail."""
+
+    rung: str
+    attempt: int
+    started_at: float
+    finished_at: float
+    ok: bool
+    note: str = ""
+
+
+@dataclass
+class RecoveryRecord:
+    """The full story of one playbook execution."""
+
+    hostname: str
+    reason: str
+    started_at: float
+    finished_at: Optional[float] = None
+    #: active | recovered | quarantined | aborted
+    outcome: str = "active"
+    #: rung that ended the playbook ("" while still active/aborted).
+    rung_reached: str = ""
+    attempts: List[RungAttempt] = field(default_factory=list)
+
+
+def _normalize(value: object) -> Tuple[bool, str]:
+    """Map a channel return value to (ok, note)."""
+    if isinstance(value, str):
+        return value.upper().startswith("OK"), value
+    if isinstance(value, tuple):
+        ok, note = value
+        return bool(ok), str(note)
+    return bool(value), ""
+
+
+def _transport_failure(note: str) -> bool:
+    """Did the *channel itself* fail (vs. an application-level refusal)?
+
+    Only transport failures feed the circuit breaker: a healthy ICE Box
+    answering ``ERR: node has no power`` for a burned board proves the
+    protocol path works, and must not open the breaker for every other
+    node behind the same box.
+    """
+    low = note.lower()
+    return "no response" in low or low.startswith("timed out")
+
+
+class RecoveryOrchestrator:
+    """Supervises per-node recovery playbooks."""
+
+    def __init__(self, kernel: SimKernel, tracker: HealthTracker,
+                 channels: RecoveryChannels, *, rng=None,
+                 policy: Optional[RetryPolicy] = None,
+                 playbook: Sequence[Rung] = DEFAULT_PLAYBOOK,
+                 verify_timeout: float = 180.0,
+                 breaker_threshold: int = 3,
+                 breaker_reset: float = 600.0):
+        self.kernel = kernel
+        self.tracker = tracker
+        self.channels = channels
+        self.rng = rng
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.playbook = tuple(playbook)
+        self.verify_timeout = verify_timeout
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.records: List[RecoveryRecord] = []
+        #: (time, hostname, reason) — one entry per quarantine page.
+        self.notifications: List[Tuple[float, str, str]] = []
+        #: (time, hostname, rung, error) — channel exceptions, defused.
+        self.errors: List[Tuple[float, str, str, str]] = []
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._active: Dict[str, object] = {}
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def active(self) -> List[str]:
+        return sorted(self._active)
+
+    def breaker(self, scope: str) -> CircuitBreaker:
+        breaker = self._breakers.get(scope)
+        if breaker is None:
+            breaker = self._breakers[scope] = CircuitBreaker(
+                scope, failure_threshold=self.breaker_threshold,
+                reset_timeout=self.breaker_reset)
+        return breaker
+
+    def record_for(self, hostname: str) -> Optional[RecoveryRecord]:
+        """The newest playbook record for ``hostname``, if any."""
+        for record in reversed(self.records):
+            if record.hostname == hostname:
+                return record
+        return None
+
+    # -- entry points ----------------------------------------------------
+    def recover(self, hostname: str,
+                reason: str = "marked down") -> Optional[RecoveryRecord]:
+        """Start (or join) the recovery playbook for ``hostname``."""
+        if hostname in self._active:
+            return self.record_for(hostname)
+        state = self.tracker.state(hostname)
+        if state is HealthState.QUARANTINED:
+            return None
+        if state is not HealthState.DOWN:
+            # Manual invocation: force the evidence through the machine.
+            self.tracker.mark_down(hostname, f"recover(): {reason}")
+        self.tracker.mark_recovering(hostname, reason)
+        record = RecoveryRecord(hostname=hostname, reason=reason,
+                                started_at=self.kernel.now)
+        self.records.append(record)
+        self._active[hostname] = self.kernel.process(
+            self._playbook(hostname, record),
+            name=f"playbook:{hostname}")
+        return record
+
+    def forget(self, hostname: str) -> None:
+        """Abort any active playbook for a hot-removed node.  Safe to
+        call at any time, including mid-rung."""
+        proc = self._active.pop(hostname, None)
+        if proc is not None and proc.is_alive:
+            proc.kill()
+
+    # -- the playbook process -------------------------------------------
+    def _playbook(self, hostname: str, record: RecoveryRecord):
+        try:
+            for rung in self.playbook:
+                if rung.terminal:
+                    self._quarantine(hostname, record)
+                    return
+                done = yield from self._run_rung(rung, hostname, record)
+                if done:
+                    record.outcome = "recovered"
+                    record.rung_reached = rung.name
+                    self.tracker.mark_healthy(
+                        hostname, f"recovered via {rung.name}")
+                    return
+            # Custom ladder without a terminal rung: everything failed.
+            self._quarantine(hostname, record)
+        finally:
+            self._active.pop(hostname, None)
+            record.finished_at = self.kernel.now
+            if record.outcome == "active":
+                record.outcome = "aborted"
+
+    def _run_rung(self, rung: Rung, hostname: str,
+                  record: RecoveryRecord):
+        """Climb one rung: breaker gate, bounded retries, verification.
+        Returns True when the node is considered recovered."""
+        now = self.kernel.now
+        fn = getattr(self.channels, rung.name, None)
+        if fn is None:
+            record.attempts.append(RungAttempt(
+                rung.name, 0, now, now, False, "channel unavailable"))
+            return False
+        scope = self._scope(rung, hostname)
+        breaker = self.breaker(scope) if scope is not None else None
+        if breaker is not None and not breaker.allow(now):
+            record.attempts.append(RungAttempt(
+                rung.name, 0, now, now, False,
+                f"breaker open: {scope}"))
+            return False
+        ok = False
+        for attempt in range(1, self.policy.max_attempts + 1):
+            started = self.kernel.now
+            ok, note = yield from self._attempt(rung, hostname)
+            record.attempts.append(RungAttempt(
+                rung.name, attempt, started, self.kernel.now, ok, note))
+            if breaker is not None:
+                # An application-level refusal still proves the channel
+                # transport works; only non-responses trip the breaker.
+                if ok or not _transport_failure(note):
+                    breaker.record_success(self.kernel.now)
+                else:
+                    breaker.record_failure(self.kernel.now)
+            if ok:
+                break
+            if breaker is not None \
+                    and not breaker.allow(self.kernel.now):
+                break  # channel declared dead: degrade, don't hammer
+            if attempt < self.policy.max_attempts:
+                yield self.kernel.timeout(
+                    self.policy.delay(attempt, self.rng))
+        if ok and rung.verify:
+            verified = yield from self._verify(hostname)
+            if not verified:
+                record.attempts.append(RungAttempt(
+                    rung.name, 0, self.kernel.now, self.kernel.now,
+                    False, "verify: node did not come back up"))
+            ok = verified
+        return ok
+
+    def _scope(self, rung: Rung, hostname: str) -> Optional[str]:
+        if self.channels.breaker_scope is not None:
+            return self.channels.breaker_scope(rung.channel, hostname)
+        # Default policy: breakers guard the shared-device channels.
+        return rung.channel if rung.channel in ("icebox", "imaging") \
+            else None
+
+    def _attempt(self, rung: Rung, hostname: str):
+        """One timed attempt of a rung's channel; (ok, note)."""
+        timeout = rung.timeout if rung.timeout is not None \
+            else self.policy.timeout
+        proc = self.kernel.process(
+            self._execute(rung, hostname),
+            name=f"recover:{rung.name}:{hostname}")
+        fired = yield self.kernel.any_of(
+            [proc, self.kernel.timeout(timeout)])
+        if proc not in fired:
+            proc.kill()
+            return False, f"timed out after {timeout:g}s"
+        return _normalize(proc.value)
+
+    def _execute(self, rung: Rung, hostname: str):
+        """Drive one channel call; exceptions become rung failures."""
+        fn = getattr(self.channels, rung.name)
+        try:
+            value = fn(hostname)
+            if hasattr(value, "throw"):  # generator channel: drive it
+                value = yield from value
+        except (Interrupt, ProcessKilled):
+            raise
+        except Exception as exc:  # channel code is arbitrary
+            self.errors.append((self.kernel.now, hostname, rung.name,
+                                repr(exc)))
+            return False
+        return value
+
+    def _verify(self, hostname: str):
+        """Wait for the node to actually reach ``up`` again."""
+        try:
+            node = self.channels.node(hostname)
+        except Exception as exc:  # hot-removed mid-playbook
+            self.errors.append((self.kernel.now, hostname, "verify",
+                                repr(exc)))
+            return False
+        waiter = node.wait_state(NodeState.UP)
+        fired = yield self.kernel.any_of(
+            [waiter, self.kernel.timeout(self.verify_timeout)])
+        return waiter in fired
+
+    def _quarantine(self, hostname: str, record: RecoveryRecord) -> None:
+        """Terminal rung: drain, page the operator exactly once, park."""
+        now = self.kernel.now
+        reason = (f"playbook exhausted after "
+                  f"{len(record.attempts)} attempt(s)")
+        if self.channels.drain is not None:
+            try:
+                self.channels.drain(hostname, reason)
+            except Exception as exc:  # drain must not block quarantine
+                self.errors.append((now, hostname, "drain", repr(exc)))
+        if self.channels.notify is not None:
+            try:
+                self.channels.notify(hostname, reason)
+            except Exception as exc:  # notify must not block quarantine
+                self.errors.append((now, hostname, "notify", repr(exc)))
+        self.notifications.append((now, hostname, reason))
+        record.outcome = "quarantined"
+        record.rung_reached = "quarantine"
+        self.tracker.mark_quarantined(hostname, reason)

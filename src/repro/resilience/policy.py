@@ -1,0 +1,141 @@
+"""Retry and circuit-breaker policy shared by every recovery channel.
+
+Two small mechanisms keep the self-healing loop from making a bad
+situation worse:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  deterministic jitter (drawn from a named sim-RNG stream, never the
+  wall clock), so a cluster-wide incident does not resynchronize 400
+  playbooks into thundering-herd retry waves;
+* :class:`CircuitBreaker` — per-channel failure accounting on simulated
+  time.  A dead ICE Box management protocol stops being hammered after
+  ``failure_threshold`` consecutive failures; the orchestrator then
+  *degrades to the next escalation rung* instead of burning its retry
+  budget against a black hole.  After ``reset_timeout`` the breaker
+  goes half-open and admits exactly one trial call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["RetryPolicy", "CircuitBreaker",
+           "CLOSED", "OPEN", "HALF_OPEN"]
+
+#: breaker states
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff + jitter.
+
+    ``delay(attempt, rng)`` returns the sleep before attempt
+    ``attempt + 1`` (i.e. after the ``attempt``-th failure, 1-based):
+    ``backoff * multiplier**(attempt-1)`` capped at ``max_backoff``,
+    stretched by a uniform ``[0, jitter]`` fraction drawn from ``rng``.
+    """
+
+    max_attempts: int = 2
+    timeout: float = 30.0
+    backoff: float = 5.0
+    multiplier: float = 2.0
+    max_backoff: float = 60.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """Backoff before the next try, after failed attempt ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = self.backoff * self.multiplier ** (attempt - 1)
+        base = min(base, self.max_backoff)
+        if rng is not None and self.jitter > 0:
+            base *= 1.0 + float(rng.uniform(0.0, self.jitter))
+        return base
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker on simulated time.
+
+    closed --``failure_threshold`` consecutive failures--> open
+    open   --``reset_timeout`` elapsed--> half-open (one trial admitted)
+    half-open --success--> closed;  --failure--> open (timer restarts)
+
+    Callers ask :meth:`allow` before using the channel and report the
+    outcome with :meth:`record_success`/:meth:`record_failure`; the
+    breaker itself never sleeps or schedules anything.
+    """
+
+    def __init__(self, name: str, *, failure_threshold: int = 3,
+                 reset_timeout: float = 300.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self._half_open = False
+        #: (time, old state, new state) audit trail.
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return CLOSED
+        return HALF_OPEN if self._half_open else OPEN
+
+    def _move(self, now: float, new: str) -> None:
+        old = self.state
+        if new == CLOSED:
+            self.opened_at = None
+            self._half_open = False
+            self.failures = 0
+        elif new == OPEN:
+            self.opened_at = now
+            self._half_open = False
+        else:  # HALF_OPEN
+            self._half_open = True
+        if old != new:
+            self.transitions.append((now, old, new))
+
+    def allow(self, now: float) -> bool:
+        """May the caller use the channel right now?
+
+        While open, returns False until ``reset_timeout`` has elapsed;
+        the call that finds the timeout expired flips to half-open and
+        is admitted as the single trial.
+        """
+        if self.opened_at is None:
+            return True
+        if self._half_open:
+            # One trial is already in flight (or was never reported);
+            # admit it again rather than deadlocking the channel.
+            return True
+        if now - self.opened_at >= self.reset_timeout:
+            self._move(now, HALF_OPEN)
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        self._move(now, CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if self._half_open or self.failures >= self.failure_threshold:
+            self._move(now, OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CircuitBreaker {self.name} {self.state} "
+                f"failures={self.failures}>")

@@ -35,6 +35,7 @@ class NodeAllocState:
 class _NodeInfo:
     daemon: Slurmd
     drained: bool = False
+    drain_reason: Optional[str] = None
     jobs: Set[int] = field(default_factory=set)
     shared_cpu: float = 0.0
     exclusive: bool = False
@@ -103,11 +104,18 @@ class SlurmController:
         """Name -> partition map (the sinfo view reads this)."""
         return dict(self._partitions)
 
-    def drain(self, hostname: str) -> None:
-        self._nodes[hostname].drained = True
+    def drain(self, hostname: str, reason: Optional[str] = None) -> None:
+        info = self._nodes[hostname]
+        info.drained = True
+        info.drain_reason = reason
+
+    def drain_reason(self, hostname: str) -> Optional[str]:
+        return self._nodes[hostname].drain_reason
 
     def resume(self, hostname: str) -> None:
-        self._nodes[hostname].drained = False
+        info = self._nodes[hostname]
+        info.drained = False
+        info.drain_reason = None
         self._schedule()
 
     def node_alloc_state(self, hostname: str) -> str:

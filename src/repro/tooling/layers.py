@@ -8,7 +8,8 @@ upward is a layering violation.  Cycles are forbidden at any layer.
     1  hardware, procfs            the simulated machine
     2  network, icebox, imaging,   device subsystems built on it
        firmware, monitoring
-    3  events, remote, slurm       control-plane services
+    3  events, remote, slurm,      control-plane services
+       resilience
     4  core                        the 3-tier server + facade internals
     5  cli, repro/__init__         operator shell / public facade
 
@@ -36,6 +37,7 @@ LAYER_MAP: Mapping[str, int] = {
     "events": 3,
     "remote": 3,
     "slurm": 3,
+    "resilience": 3,
     "core": 4,
     "cli": 5,
     "": 5,  # the repro/__init__.py facade

@@ -6,10 +6,11 @@ pass with :mod:`repro.tooling.registry`:
     WORX103  encapsulation   no reaching into foreign ``_private`` state
     WORX104  subscriber-safety  store callbacks must not re-enter mutators
     WORX105  api-surface     ``__all__`` resolves; imports use exports
+    WORX106  handlers        no swallowed exceptions outside handler shells
 """
 
 from repro.tooling.passes import (api_surface, determinism, encapsulation,
-                                  layering, subscribers)
+                                  handlers, layering, subscribers)
 
-__all__ = ["api_surface", "determinism", "encapsulation", "layering",
-           "subscribers"]
+__all__ = ["api_surface", "determinism", "encapsulation", "handlers",
+           "layering", "subscribers"]

@@ -39,6 +39,9 @@ class LintConfig:
     #: from the determinism rule — the interactive shell that is allowed
     #: to look at wall clocks.
     determinism_shell: FrozenSet[str] = frozenset()
+    #: rel paths exempt from the swallowed-exception rule (WORX106) —
+    #: declared outermost handler shells that may defuse anything.
+    handler_shells: FrozenSet[str] = frozenset()
     #: optional committed baseline of grandfathered finding keys.
     baseline: Optional[Path] = None
     #: run only these rule ids (``None`` = every registered pass).

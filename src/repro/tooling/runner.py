@@ -75,6 +75,7 @@ def default_config(root: Optional[Path] = None, *,
         baseline = candidate if candidate.is_file() else None
     return LintConfig(root=root, package="repro", layers=dict(LAYER_MAP),
                       determinism_shell=frozenset({"repro/cli.py"}),
+                      handler_shells=frozenset(),
                       baseline=baseline,
                       rules=frozenset(rules) if rules else None)
 
@@ -122,7 +123,8 @@ def refresh_baseline(config: LintConfig, path: Path) -> LintResult:
     """
     no_baseline = LintConfig(
         root=config.root, package=config.package, layers=config.layers,
-        determinism_shell=config.determinism_shell, baseline=None,
+        determinism_shell=config.determinism_shell,
+        handler_shells=config.handler_shells, baseline=None,
         rules=config.rules)
     result = run_lint(no_baseline)
     write_baseline(path, result.findings)

@@ -17,3 +17,9 @@ class Store:
 
     def hosts(self):
         return dict(self._hosts)
+
+    def forget(self, host):
+        try:
+            del self._hosts[host]
+        except Exception:
+            pass

@@ -163,6 +163,41 @@ class TestMulticastCloner:
             durations[n] = report.stream_seconds
         assert durations[32] == pytest.approx(durations[4], rel=0.05)
 
+    def test_mid_clone_death_reported_failed(self, kernel, streams):
+        """A node dying mid-stream yields a ``failed`` entry instead of
+        silently joining the never-participated ``skipped`` list."""
+        fabric, master, nodes = _clone_cluster(kernel, 4, streams)
+        cloner = MulticastCloner(kernel, fabric, master,
+                                 rng=streams("clone"))
+        proc = cloner.clone(nodes, SMALL_IMAGE)
+
+        def killer():
+            yield kernel.timeout(1.0)  # mid multicast stream
+            nodes[1].crash("died buffering the stream")
+
+        kernel.process(killer())
+        report = kernel.run(proc)
+        assert nodes[1].hostname in report.failed
+        assert nodes[1].hostname not in report.skipped
+        assert nodes[1].hostname not in report.cloned
+        assert len(report.cloned) == 3
+
+    def test_repair_timeout_bounds_stalled_peer_repair(self, kernel,
+                                                       streams):
+        """The peer-repair turn is bounded: a starved repair fails the
+        node out of the run instead of wedging the round-robin."""
+        fabric, master, nodes = _clone_cluster(kernel, 6, streams)
+        cloner = MulticastCloner(kernel, fabric, master,
+                                 rng=streams("clone"), loss_rate=0.05,
+                                 repair_timeout=1e-9)
+        report = kernel.run(cloner.clone(nodes, SMALL_IMAGE))
+        # every node that needed repair blocks timed out of its turn
+        assert report.repaired_blocks  # the scenario exercised repair
+        assert sorted(report.failed) == sorted(report.repaired_blocks)
+        assert sorted(report.cloned) == sorted(
+            n.hostname for n in nodes
+            if n.hostname not in report.repaired_blocks)
+
     def test_losses_repaired(self, kernel, streams):
         fabric, master, nodes = _clone_cluster(kernel, 6, streams)
         cloner = MulticastCloner(kernel, fabric, master,

@@ -93,6 +93,47 @@ class TestTimeoutRetry:
         starts = [t for _n, t in attempts_log]
         assert starts == pytest.approx([0.0, 3.0, 8.0])
 
+    def test_jitter_zero_gives_exact_backoff_schedule(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel)  # rng present, but jitter=0 wins
+
+        def flaky(node):
+            yield kernel.timeout(1.0)
+            return 1, "eio"
+
+        task = engine.run_sync(flaky, NodeSet("n1"), retries=2,
+                               backoff=2.0, jitter=0.0)
+        assert task.jitter == 0.0
+        # fail at 1 + backoff 2 -> retry, fail at 4 + backoff 4 -> retry
+        assert task.makespan == pytest.approx(9.0)
+
+    def test_jitter_stretches_backoff_deterministically(self):
+        makespans = []
+        for _ in range(2):
+            kernel = SimKernel()
+            engine = make_engine(kernel)  # default jitter 0.25
+
+            def flaky(node):
+                yield kernel.timeout(1.0)
+                return 1, "eio"
+
+            task = engine.run_sync(flaky, NodeSet("n1"), retries=2,
+                                   backoff=2.0)
+            assert task.jitter == 0.25
+            makespans.append(task.makespan)
+        # jitter only ever stretches the delay, within the band...
+        assert 9.0 < makespans[0] <= 1.0 + (1.0 + 2.0 * 1.25) \
+            + (1.0 + 4.0 * 1.25)
+        # ...and the draws come from the named stream: same seed,
+        # identical schedule.
+        assert makespans[0] == makespans[1]
+
+    def test_jitter_validation(self):
+        kernel = SimKernel()
+        engine = make_engine(kernel)
+        with pytest.raises(ValueError):
+            engine.run_sync("uptime", NodeSet("n1"), jitter=-0.5)
+
     def test_retries_exhausted_is_failed(self):
         kernel = SimKernel()
         engine = make_engine(kernel)

@@ -1,0 +1,481 @@
+"""Unit tests for repro.resilience: retry policy, circuit breaker,
+health state machine, and the recovery orchestrator."""
+
+import pytest
+
+from repro import ClusterWorX
+from repro.hardware import NodeState
+from repro.resilience import (
+    DEFAULT_PLAYBOOK,
+    CircuitBreaker,
+    HealthState,
+    HealthTracker,
+    InvalidTransition,
+    RecoveryChannels,
+    RecoveryOrchestrator,
+    RetryPolicy,
+)
+from repro.resilience.policy import CLOSED, HALF_OPEN, OPEN
+from repro.sim import RandomStreams
+
+
+# -- RetryPolicy -------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(max_attempts=6, backoff=5.0, multiplier=2.0,
+                             max_backoff=60.0, jitter=0.0)
+        delays = [policy.delay(a) for a in range(1, 7)]
+        assert delays == [5.0, 10.0, 20.0, 40.0, 60.0, 60.0]
+
+    def test_jitter_stretches_within_band_deterministically(self):
+        policy = RetryPolicy(jitter=0.25)
+        a = policy.delay(1, RandomStreams(9)("resilience"))
+        b = policy.delay(1, RandomStreams(9)("resilience"))
+        assert a == b  # same seed, same stream -> same draw
+        assert policy.backoff < a <= policy.backoff * 1.25
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(jitter=0.25)
+        assert policy.delay(1) == policy.backoff
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+# -- CircuitBreaker ----------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker("icebox", failure_threshold=3,
+                                 reset_timeout=300.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == CLOSED and breaker.allow(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(100.0)
+
+    def test_half_open_trial_then_close(self):
+        breaker = CircuitBreaker("icebox", failure_threshold=1,
+                                 reset_timeout=300.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(299.0)
+        assert breaker.allow(300.0)          # the single trial
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow(300.5)          # trial in flight: re-admit
+        breaker.record_success(301.0)
+        assert breaker.state == CLOSED and breaker.failures == 0
+
+    def test_half_open_failure_reopens_and_restarts_timer(self):
+        breaker = CircuitBreaker("icebox", failure_threshold=1,
+                                 reset_timeout=100.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(100.0)
+        breaker.record_failure(100.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(199.0)      # timer restarted at t=100
+        assert breaker.allow(200.0)
+
+    def test_transitions_audit_trail(self):
+        breaker = CircuitBreaker("b", failure_threshold=1,
+                                 reset_timeout=10.0)
+        breaker.record_failure(1.0)
+        breaker.allow(11.0)
+        breaker.record_success(12.0)
+        assert breaker.transitions == [
+            (1.0, CLOSED, OPEN),
+            (11.0, OPEN, HALF_OPEN),
+            (12.0, HALF_OPEN, CLOSED),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("b", failure_threshold=0)
+
+
+# -- HealthTracker -----------------------------------------------------------
+
+class TestHealthTracker:
+    def test_untracked_node_reads_healthy(self, kernel):
+        tracker = HealthTracker(kernel)
+        assert tracker.state("ghost") is HealthState.HEALTHY
+        assert tracker.record("ghost") is None
+
+    def test_full_lifecycle_transitions(self, kernel):
+        tracker = HealthTracker(kernel)
+        tracker.mark_suspect("n0", "stale")
+        tracker.mark_down("n0", "silent")
+        tracker.mark_recovering("n0", "playbook")
+        tracker.mark_healthy("n0", "recovered")
+        tracker.mark_down("n0", "crashed again")
+        tracker.mark_recovering("n0", "playbook")
+        tracker.mark_quarantined("n0", "exhausted")
+        tracker.release("n0")
+        record = tracker.record("n0")
+        assert record.state is HealthState.HEALTHY
+        assert [new.value for _t, _old, new, _r in record.history] == [
+            "suspect", "down", "recovering", "healthy",
+            "down", "recovering", "quarantined", "healthy"]
+
+    def test_down_can_heal_unassisted(self, kernel):
+        tracker = HealthTracker(kernel)
+        tracker.mark_down("n0", "hard evidence")
+        tracker.mark_healthy("n0", "came back on its own")
+        assert tracker.state("n0") is HealthState.HEALTHY
+
+    @pytest.mark.parametrize("setup, bad", [
+        ([], "mark_recovering"),            # healthy -> recovering
+        ([], "mark_quarantined"),           # healthy -> quarantined
+        (["mark_suspect"], "mark_recovering"),
+        (["mark_suspect"], "mark_quarantined"),
+        (["mark_down"], "mark_suspect"),
+        (["mark_down"], "mark_quarantined"),
+        (["mark_down", "mark_recovering"], "mark_suspect"),
+        (["mark_down", "mark_recovering"], "mark_down"),
+    ])
+    def test_illegal_transitions_raise(self, kernel, setup, bad):
+        tracker = HealthTracker(kernel)
+        for step in setup:
+            getattr(tracker, step)("n0", "setup")
+        with pytest.raises(InvalidTransition):
+            getattr(tracker, bad)("n0", "illegal")
+
+    def test_same_state_is_a_noop(self, kernel):
+        tracker = HealthTracker(kernel)
+        tracker.mark_healthy("n0", "redundant")
+        assert tracker.record("n0").history == []
+
+    def test_listeners_and_counts(self, kernel):
+        tracker = HealthTracker(kernel)
+        seen = []
+        tracker.add_listener(
+            lambda host, old, new, reason: seen.append(
+                (host, old.value, new.value, reason)))
+        tracker.mark_suspect("n0", "stale")
+        tracker.mark_down("n0", "silent")
+        assert seen == [("n0", "healthy", "suspect", "stale"),
+                        ("n0", "suspect", "down", "silent")]
+        assert tracker.counts()["down"] == 1
+        assert tracker.nodes_in(HealthState.DOWN) == ["n0"]
+        tracker.forget("n0")
+        assert tracker.record("n0") is None
+
+    def test_evaluate_staleness_escalation(self, kernel):
+        tracker = HealthTracker(kernel, suspect_after=30.0,
+                                down_after=60.0)
+        assert tracker.evaluate("n0", age=5.0, reachable=True,
+                                node_state="up") is HealthState.HEALTHY
+        assert tracker.evaluate("n0", age=35.0, reachable=True,
+                                node_state="up") is HealthState.SUSPECT
+        assert tracker.evaluate("n0", age=45.0, reachable=True,
+                                node_state="up") is HealthState.SUSPECT
+        assert tracker.evaluate("n0", age=65.0, reachable=True,
+                                node_state="up") is HealthState.DOWN
+
+    def test_evaluate_suspect_recovers_when_fresh(self, kernel):
+        tracker = HealthTracker(kernel)
+        tracker.evaluate("n0", age=0.0, reachable=False, node_state="up")
+        assert tracker.state("n0") is HealthState.SUSPECT
+        assert tracker.evaluate("n0", age=1.0, reachable=True,
+                                node_state="up") is HealthState.HEALTHY
+
+    def test_evaluate_hard_state_short_circuits(self, kernel):
+        tracker = HealthTracker(kernel)
+        assert tracker.evaluate("n0", age=0.0, reachable=True,
+                                node_state="crashed") is HealthState.DOWN
+
+    def test_evaluate_down_heals_only_when_fully_up(self, kernel):
+        tracker = HealthTracker(kernel)
+        tracker.mark_down("n0", "evidence")
+        assert tracker.evaluate("n0", age=5.0, reachable=True,
+                                node_state="booting") is HealthState.DOWN
+        assert tracker.evaluate("n0", age=5.0, reachable=True,
+                                node_state="up") is HealthState.HEALTHY
+
+    def test_evaluate_leaves_orchestrator_owned_states_alone(self, kernel):
+        tracker = HealthTracker(kernel)
+        tracker.mark_down("n0", "evidence")
+        tracker.mark_recovering("n0", "playbook")
+        assert tracker.evaluate("n0", age=999.0, reachable=False,
+                                node_state="crashed") \
+            is HealthState.RECOVERING
+
+    def test_note_event_critical_makes_suspect(self, kernel):
+        tracker = HealthTracker(kernel)
+        tracker.note_event("n0", "disk-full", "warning")
+        assert tracker.state("n0") is HealthState.HEALTHY
+        tracker.note_event("n0", "fan-failure", "critical")
+        record = tracker.record("n0")
+        assert record.state is HealthState.SUSPECT
+        assert record.history[-1][3] == "event:fan-failure"
+
+    def test_validation(self, kernel):
+        with pytest.raises(ValueError):
+            HealthTracker(kernel, suspect_after=0.0)
+        with pytest.raises(ValueError):
+            HealthTracker(kernel, suspect_after=30.0, down_after=30.0)
+
+
+# -- RecoveryOrchestrator ----------------------------------------------------
+
+class Script:
+    """A fake channel returning scripted results, one per call."""
+
+    def __init__(self, *results, default="ERR: exhausted"):
+        self.results = list(results)
+        self.default = default
+        self.calls = 0
+
+    def __call__(self, hostname, *rest):
+        self.calls += 1
+        value = self.results.pop(0) if self.results else self.default
+        if isinstance(value, Exception):
+            raise value
+        return value
+
+
+def make_orchestrator(kernel, node, *, policy=None, channels=None,
+                      **kwargs):
+    tracker = HealthTracker(kernel)
+    if channels is None:
+        channels = RecoveryChannels(node=lambda h: node)
+    if policy is None:
+        policy = RetryPolicy(max_attempts=2, timeout=10.0, backoff=2.0,
+                             jitter=0.0)
+    orch = RecoveryOrchestrator(kernel, tracker, channels,
+                                policy=policy, **kwargs)
+    return tracker, orch
+
+
+class TestRecoveryOrchestrator:
+    def test_probe_success_recovers_first_rung(self, kernel, node):
+        probe = Script("OK alive")
+        channels = RecoveryChannels(node=lambda h: node, probe=probe)
+        tracker, orch = make_orchestrator(kernel, node, channels=channels)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        assert record.outcome == "recovered"
+        assert record.rung_reached == "probe"
+        assert tracker.state(node.hostname) is HealthState.HEALTHY
+        assert probe.calls == 1 and not orch.errors
+
+    def test_failed_probe_escalates_to_ice_reset(self, kernel, node):
+        probe = Script(default="ERR: no route")
+        ice = Script("OK reset")
+        channels = RecoveryChannels(node=lambda h: node, probe=probe,
+                                    ice_reset=ice)
+        tracker, orch = make_orchestrator(kernel, node, channels=channels)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        # probe retried to the policy bound, then the ladder climbed;
+        # the node is already up so verification passes immediately.
+        assert probe.calls == 2
+        assert record.outcome == "recovered"
+        assert record.rung_reached == "ice_reset"
+        assert [a.rung for a in record.attempts] == \
+            ["probe", "probe", "ice_reset"]
+
+    def test_unset_channel_degrades_to_next_rung(self, kernel, node):
+        ice = Script("OK reset")
+        channels = RecoveryChannels(node=lambda h: node, ice_reset=ice)
+        _tracker, orch = make_orchestrator(kernel, node, channels=channels)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        assert record.attempts[0].note == "channel unavailable"
+        assert record.outcome == "recovered"
+        assert record.rung_reached == "ice_reset"
+
+    def test_attempt_timeout_is_a_rung_failure(self, kernel, node):
+        def stuck_probe(hostname):
+            yield kernel.timeout(1e6)
+            return "OK too late"
+
+        channels = RecoveryChannels(node=lambda h: node,
+                                    probe=stuck_probe,
+                                    ice_reset=Script("OK reset"))
+        policy = RetryPolicy(max_attempts=1, timeout=5.0, jitter=0.0)
+        _tracker, orch = make_orchestrator(kernel, node, policy=policy,
+                                           channels=channels)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        assert record.attempts[0].note == "timed out after 5s"
+        assert record.outcome == "recovered"
+
+    def test_channel_exception_defused_and_recorded(self, kernel, node):
+        channels = RecoveryChannels(
+            node=lambda h: node,
+            probe=Script(RuntimeError("transport exploded")),
+            ice_reset=Script("OK reset"))
+        policy = RetryPolicy(max_attempts=1, timeout=5.0, jitter=0.0)
+        _tracker, orch = make_orchestrator(kernel, node, policy=policy,
+                                           channels=channels)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        assert record.outcome == "recovered"
+        assert len(orch.errors) == 1
+        assert orch.errors[0][2] == "probe"
+        assert "transport exploded" in orch.errors[0][3]
+
+    def test_verify_failure_fails_the_rung(self, kernel, node):
+        node.crash("stays dead")  # OK from the channel is not enough
+        channels = RecoveryChannels(node=lambda h: node,
+                                    ice_reset=Script("OK reset"),
+                                    drain=Script("OK"),
+                                    notify=Script("OK"))
+        policy = RetryPolicy(max_attempts=1, timeout=5.0, jitter=0.0)
+        tracker, orch = make_orchestrator(kernel, node, policy=policy,
+                                          channels=channels,
+                                          verify_timeout=30.0)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        notes = [a.note for a in record.attempts]
+        assert "verify: node did not come back up" in notes
+        assert record.outcome == "quarantined"
+        assert tracker.state(node.hostname) is HealthState.QUARANTINED
+
+    def test_quarantine_drains_and_pages_exactly_once(self, kernel, node):
+        drain, notify = Script("OK"), Script("OK")
+        channels = RecoveryChannels(node=lambda h: node,
+                                    probe=Script(default="ERR: no route"),
+                                    drain=drain, notify=notify)
+        tracker, orch = make_orchestrator(kernel, node, channels=channels)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        assert record.outcome == "quarantined"
+        assert record.rung_reached == "quarantine"
+        assert drain.calls == 1 and notify.calls == 1
+        assert len(orch.notifications) == 1
+        assert orch.notifications[0][1] == node.hostname
+        # a quarantined node is parked: recover() refuses to restart
+        assert orch.recover(node.hostname, "again") is None
+        assert drain.calls == 1
+
+    def test_recover_joins_the_active_playbook(self, kernel, node):
+        channels = RecoveryChannels(node=lambda h: node,
+                                    probe=Script("OK alive"))
+        _tracker, orch = make_orchestrator(kernel, node, channels=channels)
+        first = orch.recover(node.hostname, "drill")
+        second = orch.recover(node.hostname, "duplicate")
+        assert second is first and len(orch.records) == 1
+        kernel.run()
+
+    def test_transport_failures_open_shared_icebox_breaker(self, kernel,
+                                                           node):
+        ice = Script(default="ERR: no response")
+        cycle = Script(default="ERR: no response")
+        channels = RecoveryChannels(
+            node=lambda h: node, ice_reset=ice, power_cycle=cycle,
+            reclone=Script("OK recloned"),
+            breaker_scope=lambda channel, h:
+                "icebox:box0" if channel == "icebox" else None)
+        _tracker, orch = make_orchestrator(kernel, node,
+                                           channels=channels,
+                                           breaker_threshold=3)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        # ice_reset burned 2 transport failures, power_cycle's first
+        # failure tripped the shared breaker: the rung stopped retrying
+        # and the ladder degraded straight to reclone.
+        assert ice.calls == 2 and cycle.calls == 1
+        assert orch.breaker("icebox:box0").state == OPEN
+        assert record.outcome == "recovered"
+        assert record.rung_reached == "reclone"
+
+    def test_application_refusals_do_not_trip_the_breaker(self, kernel,
+                                                          node):
+        ice = Script(default="ERR: node has no power")
+        channels = RecoveryChannels(
+            node=lambda h: node, ice_reset=ice,
+            power_cycle=Script("OK cycled"),
+            breaker_scope=lambda channel, h:
+                "icebox:box0" if channel == "icebox" else None)
+        _tracker, orch = make_orchestrator(kernel, node,
+                                           channels=channels)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run()
+        assert orch.breaker("icebox:box0").state == CLOSED
+        assert record.rung_reached == "power_cycle"
+
+    def test_forget_mid_playbook_aborts_cleanly(self, kernel, node):
+        def stuck_probe(hostname):
+            yield kernel.timeout(1e4)
+            return "OK"
+
+        channels = RecoveryChannels(node=lambda h: node,
+                                    probe=stuck_probe)
+        _tracker, orch = make_orchestrator(kernel, node, channels=channels)
+        record = orch.recover(node.hostname, "drill")
+        kernel.run(until=2.0)
+        assert orch.active == [node.hostname]
+        orch.forget(node.hostname)
+        kernel.run()  # must not raise out of the killed playbook
+        assert orch.active == []
+        assert record.outcome == "aborted"
+        assert record.finished_at is not None
+
+    def test_default_playbook_order(self):
+        assert [r.name for r in DEFAULT_PLAYBOOK] == [
+            "probe", "ice_reset", "power_cycle", "reclone", "quarantine"]
+        assert DEFAULT_PLAYBOOK[-1].terminal
+
+
+# -- facade integration: hot-remove during self-healing ----------------------
+
+class TestSelfHealingFacade:
+    def test_remove_node_mid_recovery_does_not_raise(self):
+        cwx = ClusterWorX(n_nodes=4, seed=11, self_healing=True,
+                          monitor_interval=5.0)
+        cwx.start()
+        cwx.run(30.0)
+        victim = cwx.cluster.hostnames[1]
+        cwx.inject_fault(victim, "kernel_panic")
+        # let the sweep detect the crash and start the playbook...
+        cwx.run(60.0)
+        assert cwx.server.health.state(victim) in (
+            HealthState.RECOVERING, HealthState.HEALTHY)
+        # ...then hot-remove the node mid-sweep / mid-playbook.
+        cwx.remove_node(victim)
+        cwx.run(600.0)  # clean teardown: nothing raises afterwards
+        assert cwx.server.health.record(victim) is None
+        assert victim not in cwx.server.recovery.active
+        assert not cwx.server.store.is_tracked(victim)
+        assert victim not in cwx.cluster.hostnames
+
+    def test_self_healing_recovers_kernel_panic_end_to_end(self):
+        cwx = ClusterWorX(n_nodes=4, seed=11, self_healing=True,
+                          monitor_interval=5.0)
+        cwx.start()
+        cwx.run(30.0)
+        victim = cwx.cluster.hostnames[0]
+        cwx.inject_fault(victim, "kernel_panic")
+        cwx.run(900.0)
+        assert cwx.server.health.state(victim) is HealthState.HEALTHY
+        record = cwx.server.recovery.record_for(victim)
+        assert record is not None and record.outcome == "recovered"
+        assert not cwx.server.recovery.errors
+
+    def test_critical_event_firing_feeds_the_tracker(self):
+        cwx = ClusterWorX(n_nodes=2, seed=3, self_healing=True,
+                          monitor_interval=5.0)
+        cwx.add_threshold("hot-cpu", metric="cpu_temp_c", op=">",
+                          threshold=-1.0, severity="critical",
+                          action="none")
+        cwx.start()
+        cwx.run(30.0)  # every report breaches the absurd threshold
+        fired = cwx.fired_events()
+        assert fired, "rule should have fired"
+        # the firing made the node suspect; the next sweep may already
+        # have healed it (the agent is fresh), so check the history.
+        record = cwx.server.health.record(fired[0].node)
+        assert record is not None
+        reasons = [reason for _t, _o, _n, reason in record.history]
+        assert "event:hot-cpu" in reasons

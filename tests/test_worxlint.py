@@ -28,6 +28,7 @@ PLANTED = {
     "WORX103": "WORX103:acme/app/flows.py:10",
     "WORX104": "WORX104:acme/app/flows.py:15",
     "WORX105": "WORX105:acme/mid/__init__.py:7",
+    "WORX106": "WORX106:acme/lib/store.py:24",
 }
 
 
@@ -141,13 +142,13 @@ def test_missing_baseline_is_empty(tmp_path):
 # -- single shared parse -----------------------------------------------------
 
 def test_every_file_parsed_exactly_once():
-    """All five passes run off one shared parse: the ast.parse counter
+    """All six passes run off one shared parse: the ast.parse counter
     grows by exactly the number of files in the tree, never more."""
     n_files = len([p for p in FIXTURE.rglob("*.py")
                    if "__pycache__" not in p.parts])
     before = parse_count()
     result = run_lint(fixture_config())
-    assert len(result.rules) == 5
+    assert len(result.rules) == 6
     assert parse_count() - before == n_files == result.modules
 
 
@@ -290,6 +291,67 @@ def test_import_cycle_detected(tmp_path):
     assert len(result.findings) == 1
     assert "import cycle" in result.findings[0].message
     assert "pkg.alpha" in result.findings[0].message
+
+
+# -- WORX106: swallowed exceptions -------------------------------------------
+
+def test_bare_except_always_flagged(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        def load(path):
+            try:
+                return open(path).read()
+            except:
+                return None
+        """, rules={"WORX106"})
+    assert [f.rule_id for f in result.findings] == ["WORX106"]
+    assert result.findings[0].line == 4
+
+
+def test_catch_all_pass_flagged_narrow_pass_allowed(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        def drop(d, k):
+            try:
+                del d[k]
+            except KeyError:
+                pass          # narrow: a considered statement
+
+
+        def swallow(fn):
+            try:
+                fn()
+            except (ValueError, Exception):
+                pass
+        """, rules={"WORX106"})
+    assert [f.rule_id for f in result.findings] == ["WORX106"]
+    assert result.findings[0].line == 11
+
+
+def test_catch_all_that_records_is_allowed(tmp_path):
+    result = lint_snippet(tmp_path, """\
+        def guard(fn, errors):
+            try:
+                fn()
+            except Exception as exc:
+                errors.append(repr(exc))
+        """, rules={"WORX106"})
+    assert not result.findings
+
+
+def test_handler_shell_exempts_file(tmp_path):
+    (tmp_path / "shell.py").write_text(textwrap.dedent("""\
+        def repl(fn):
+            try:
+                fn()
+            except Exception:
+                pass
+        """))
+    config = LintConfig(root=tmp_path, package="pkg", layers={},
+                        rules=frozenset({"WORX106"}))
+    assert len(run_lint(config).findings) == 1
+    shelled = LintConfig(root=tmp_path, package="pkg", layers={},
+                         handler_shells=frozenset({"shell.py"}),
+                         rules=frozenset({"WORX106"}))
+    assert not run_lint(shelled).findings
 
 
 def test_default_config_points_at_src():
