@@ -4,7 +4,7 @@
 PYTHON    ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test bench baseline chaos
+.PHONY: check lint test bench bench-smoke baseline chaos
 
 check: lint test
 
@@ -19,6 +19,12 @@ test:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Tiny E16 scaling cell (200 nodes, 60 sim-seconds): a seconds-long
+# canary for hot-path regressions.  tests/test_bench_smoke.py runs the
+# same cell inside tier-1 with a generous wall-clock budget.
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_e16_scaling.py --tiny
 
 # Self-healing drill: inject a mixed fault campaign and fail unless
 # every fault reaches a terminal outcome with zero defused errors.

@@ -29,6 +29,7 @@ from repro.imaging.multicast_clone import CloneReport
 from repro.monitoring.agent import NodeAgent
 from repro.monitoring.monitors import MonitorRegistry, builtin_registry
 from repro.monitoring.plugins import load_plugin_dir
+from repro.monitoring.scheduler import AgentScheduler
 from repro.sim import RandomStreams, SimKernel
 
 __all__ = ["ClusterWorX"]
@@ -44,13 +45,28 @@ class ClusterWorX:
                  deadband: float = 0.0,
                  segment_capacity: float = 12.5e6,
                  plugin_dir: Optional[str] = None,
-                 self_healing: bool = False):
-        self.kernel = SimKernel()
+                 self_healing: bool = False,
+                 hot_path: str = "fast",
+                 agent_stagger: int = 1):
+        # ``hot_path="legacy"`` reconstructs the pre-overhaul machinery
+        # (heap-only kernel, one process per agent, unindexed event
+        # engine, per-update sweep writes) — both paths produce
+        # byte-identical same-seed schedules; the determinism suite and
+        # bench_e16 run them side by side.  ``agent_stagger=B`` spreads
+        # agent cohorts over B phase offsets per interval; that
+        # intentionally changes sample times, so it defaults to 1.
+        if hot_path not in ("fast", "legacy"):
+            raise ValueError(f"unknown hot_path {hot_path!r}")
+        self.hot_path = hot_path
+        fast = hot_path == "fast"
+        self.kernel = SimKernel(timer_wheel=fast)
         self.streams = RandomStreams(seed)
         self.cluster = Cluster(self.kernel, n_nodes, name=name,
                                streams=self.streams, firmware=firmware,
                                segment_capacity=segment_capacity)
         self.registry: MonitorRegistry = builtin_registry()
+        if not fast:
+            self.registry.fast_sampler = None
         if plugin_dir is not None:
             load_plugin_dir(self.registry, plugin_dir)
         self.email = EmailGateway()
@@ -65,6 +81,13 @@ class ClusterWorX:
                                         self_healing=self_healing,
                                         suspect_after=2.5 * monitor_interval,
                                         down_after=5.0 * monitor_interval)
+        if not fast:
+            self.server.engine.indexed = False
+            self.server.sweep_batching = False
+        #: shared driver for the initial agent cohort (fast path only).
+        self.scheduler: Optional[AgentScheduler] = \
+            AgentScheduler(self.kernel, stagger=agent_stagger) \
+            if fast else None
         self.monitor_interval = monitor_interval
         self.agents: Dict[str, NodeAgent] = {}
         for node in self.cluster.nodes:
@@ -85,7 +108,10 @@ class ClusterWorX:
         if boot:
             self.cluster.boot_all()
         for agent in self.agents.values():
-            agent.start()
+            if self.scheduler is not None:
+                self.scheduler.register(agent)
+            else:
+                agent.start()
         self.server.start_sweep()
 
     def run(self, seconds: float) -> None:
@@ -173,6 +199,9 @@ class ClusterWorX:
         if power_on:
             box.power.power_on(port)
         if self._started:
+            # Hot-added agents get their own driver process: the first
+            # sample must land at the add instant, which in general
+            # shares no phase with any scheduler bucket.
             agent.start()
         return node.hostname
 

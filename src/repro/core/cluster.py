@@ -66,6 +66,7 @@ class Cluster:
                                    boot_server=self.management,
                                    dhcp=self.dhcp)
         self.nodes: List[SimulatedNode] = []
+        self._by_name: Dict[str, SimulatedNode] = {}
         self.iceboxes: List[IceBox] = []
         self._location: Dict[str, Tuple[IceBox, int]] = {}
         #: NIMP front-end per ICE Box — the protocol ClusterWorX itself
@@ -86,6 +87,7 @@ class Cluster:
             self.fabric.attach(node)
             self.dhcp.reserve(node.mac, node.ip)
             self.nodes.append(node)
+            self._by_name[node.hostname] = node
 
             box_index, port = divmod(i, self.NODES_PER_ICEBOX)
             while box_index >= len(self.iceboxes):
@@ -115,6 +117,7 @@ class Cluster:
         self.fabric.attach(node)
         self.dhcp.reserve(node.mac, node.ip)
         self.nodes.append(node)
+        self._by_name[node.hostname] = node
         # First ICE Box with a free port, or a new box.
         for box in self.iceboxes:
             for port in range(box.power.N_NODE_OUTLETS):
@@ -148,12 +151,13 @@ class Cluster:
             node.power_off()
         self.dhcp.release(node.mac)
         self.nodes.remove(node)
+        self._by_name.pop(node.hostname, None)
 
     # -- lookup -------------------------------------------------------------
     def node(self, hostname: str) -> SimulatedNode:
-        for node in self.nodes:
-            if node.hostname == hostname:
-                return node
+        found = self._by_name.get(hostname)
+        if found is not None:
+            return found
         if hostname == self.management.hostname:
             return self.management
         raise KeyError(f"no node named {hostname!r}")

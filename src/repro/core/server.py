@@ -17,6 +17,7 @@ through the single simulation timeline.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, List, Mapping, Optional
 
 from repro.core.auth import AuthManager, Role
@@ -111,10 +112,16 @@ class ClusterWorXServer:
         self.queries_served = 0
         self._sweep_seq = 0
         self._sweeping = False
+        #: batch each sweep pass's updates through ``store.apply_many``.
+        #: Only effective while self-healing is off: health evidence must
+        #: observe each update the instant it lands (event firings feed
+        #: the tracker), so the self-healing sweep stays interleaved.
+        self.sweep_batching = True
         # §3.3: console output "is captured and logged through the ICE
         # Box" — the server archives every port's serial stream beyond
         # the box's own 16 KiB buffer.
         self._console_archive: Dict[str, List[tuple[float, str]]] = {}
+        self._console_hosts: List[str] = []
         self.console_archive_limit = 2000
         for node in cluster.nodes:
             self.track_node(node)
@@ -140,12 +147,16 @@ class ClusterWorXServer:
         self.health.forget(hostname)
         self.store.forget(hostname)
         self.history.forget(hostname)
-        self._console_archive.pop(hostname, None)
+        if self._console_archive.pop(hostname, None) is not None:
+            self._console_hosts.remove(hostname)
         self.engine.forget_node(hostname)
 
     def _make_console_sink(self, hostname: str):
         def _sink(text: str) -> None:
-            archive = self._console_archive.setdefault(hostname, [])
+            archive = self._console_archive.get(hostname)
+            if archive is None:
+                archive = self._console_archive[hostname] = []
+                insort(self._console_hosts, hostname)
             archive.append((self.kernel.now, text))
             if len(archive) > self.console_archive_limit:
                 del archive[: len(archive) - self.console_archive_limit]
@@ -161,9 +172,16 @@ class ClusterWorXServer:
 
     def console_search(self, pattern: str
                        ) -> List[tuple[str, float, str]]:
-        """Find ``pattern`` across every node's archived console output."""
+        """Find ``pattern`` across every node's archived console output.
+
+        Walks a sorted host list maintained on first archive write (no
+        per-call re-sort of the archive dict) and skips hosts whose
+        archive is empty."""
         hits = []
-        for hostname, entries in sorted(self._console_archive.items()):
+        for hostname in self._console_hosts:
+            entries = self._console_archive[hostname]
+            if not entries:
+                continue
             for t, text in entries:
                 if pattern in text:
                     hits.append((hostname, t, text.strip()))
@@ -176,6 +194,12 @@ class ClusterWorXServer:
         watching clients)."""
         self.updates_received += 1
         self.store.apply(update)
+
+    def ingest_many(self, updates: List[Update]) -> int:
+        """Bulk tier-1 entry point: batch-apply typed updates in order
+        (re-ingest after a clone/recovery, sweep passes, replays)."""
+        self.updates_received += len(updates)
+        return self.store.apply_many(updates)
 
     def receive(self, hostname: str, t: float,
                 values: Dict[str, object]) -> None:
@@ -206,6 +230,9 @@ class ClusterWorXServer:
     def _sweep_loop(self):
         while self._sweeping:
             now = self.kernel.now
+            batch: Optional[List[Update]] = \
+                [] if (self.sweep_batching and not self.self_healing) \
+                else None
             # Snapshot the membership: a health transition observed
             # mid-sweep can trigger forget_node from a subscriber.
             for node in list(self.cluster.nodes):
@@ -219,17 +246,23 @@ class ClusterWorXServer:
                         or current.get("node_state")
                         != node.state.value):
                     self._sweep_seq += 1
-                    self.ingest(Update(
+                    update = Update(
                         hostname=node.hostname, time=now,
                         values={"udp_echo": reachable,
                                 "node_state": node.state.value},
-                        source="sweep", seq=self._sweep_seq))
+                        source="sweep", seq=self._sweep_seq)
+                    if batch is None:
+                        self.ingest(update)
+                    else:
+                        batch.append(update)
                 if self.self_healing:
                     self.health.evaluate(
                         node.hostname,
                         age=self._staleness_age(node.hostname),
                         reachable=bool(reachable),
                         node_state=node.state.value)
+            if batch:
+                self.ingest_many(batch)
             yield self.kernel.timeout(self.sweep_interval)
 
     def _staleness_age(self, hostname: str) -> float:

@@ -142,6 +142,8 @@ class StateStore:
         self._time = 0.0
         self._snapshot: Optional[Snapshot] = None
         self._subs: List[Subscription] = []
+        #: bumped on (un)subscribe so batch publishes can cache the list.
+        self._subs_version = 0
         # -- incremental rollup state --
         self._up: Set[str] = set()
         self._cpu_sum = 0.0
@@ -218,6 +220,58 @@ class StateStore:
         self.updates_applied += 1
         self._publish(update)
         return update
+
+    def apply_many(self, updates: Iterable[Update]) -> int:
+        """Batch write: apply and publish each update, in order.
+
+        Observably equivalent to calling :meth:`apply` in a loop —
+        rollup maintenance, copy-on-write forks, generation stamping and
+        subscriber dispatch stay interleaved per update, in batch order —
+        but the fixed costs (the subscriber-list snapshot, counter
+        updates) are amortized across the batch.  The sweep loop and
+        bulk re-ingest paths use this; returns the number applied.
+        """
+        applied = 0
+        subs: List[Subscription] = []
+        subs_version = -1
+        for update in updates:
+            values = update.values
+            if not values:
+                continue
+            host = update.hostname
+            old = self._hosts.get(host)
+            old_values: Mapping[str, object] = old if old is not None \
+                else _EMPTY
+            self._rollup_delta(host, old_values, values)
+            merged = dict(old_values)
+            merged.update(values)
+            self._fork_if_frozen()
+            self._hosts[host] = merged
+            self._last_update[host] = update.time
+            if update.source == "agent":
+                self._last_agent[host] = update.time
+            if update.time > self._time:
+                self._time = update.time
+            self._generation += 1
+            applied += 1
+            # Re-snapshot the subscriber list only when a mid-batch
+            # callback (un)subscribed — apply() pays this copy per update.
+            if subs_version != self._subs_version:
+                subs = list(self._subs)
+                subs_version = self._subs_version
+            for sub in subs:
+                if not sub.wants(update):
+                    continue
+                try:
+                    sub.callback(update)
+                except Exception as exc:  # consumer code is arbitrary
+                    self.errors.append((sub.name, update.hostname,
+                                        str(exc)))
+                    continue
+                sub.delivered += 1
+                self.notifications += 1
+        self.updates_applied += applied
+        return applied
 
     def _fork_if_frozen(self) -> None:
         """Copy-on-write: if a live snapshot references the host map,
@@ -341,11 +395,13 @@ class StateStore:
         sub = Subscription(self, callback, name=name, hosts=hosts,
                            metrics=metrics)
         self._subs.append(sub)
+        self._subs_version += 1
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
         if sub in self._subs:
             self._subs.remove(sub)
+            self._subs_version += 1
 
     @property
     def subscriptions(self) -> List[Subscription]:

@@ -50,7 +50,8 @@ class EventEngine:
 
     def __init__(self, kernel: SimKernel, *,
                  dispatcher: Optional[ActionDispatcher] = None,
-                 notifier: Optional[SmartNotifier] = None):
+                 notifier: Optional[SmartNotifier] = None,
+                 indexed: bool = True):
         self.kernel = kernel
         self.dispatcher = dispatcher if dispatcher is not None \
             else ActionDispatcher()
@@ -67,6 +68,24 @@ class EventEngine:
         #: fn(fired_event, rule) called after every firing — the hook
         #: the health tracker uses to treat critical events as evidence.
         self._listeners: List = []
+        #: metric-indexed evaluation (False = legacy scan of every rule
+        #: per update; the determinism suite compares the two).
+        self.indexed = indexed
+        # -- metric -> rule index (see feed()) ---------------------------
+        self._index: Dict[str, List[str]] = {}
+        #: rule insertion rank — candidate sets are replayed in exactly
+        #: the order the legacy full scan visits rules.
+        self._order: Dict[str, int] = {}
+        self._next_order = 0
+        #: hostname -> rule names currently maturing a hold_time; these
+        #: must be re-evaluated on *every* update for the host (time
+        #: alone can trigger them), delta contents notwithstanding.
+        self._pending: Dict[str, set[str]] = {}
+        #: rule-set version, per-host sync marker: a host whose marker
+        #: is stale takes one legacy full scan (initialising state for
+        #: rules added since) before indexed evaluation resumes.
+        self._rules_version = 0
+        self._rules_seen: Dict[str, int] = {}
 
     def add_listener(self, listener) -> None:
         """Register ``fn(fired: FiredEvent, rule: ThresholdRule)`` to be
@@ -78,12 +97,27 @@ class EventEngine:
         if rule.name in self._rules:
             raise ValueError(f"rule {rule.name!r} already exists")
         self._rules[rule.name] = rule
+        self._index.setdefault(rule.metric, []).append(rule.name)
+        self._order[rule.name] = self._next_order
+        self._next_order += 1
+        # Invalidate every host's sync marker: the new rule must get one
+        # legacy evaluation per host against remembered values before
+        # indexed skipping is safe again.
+        self._rules_version += 1
 
     def remove_rule(self, name: str) -> None:
-        self._rules.pop(name, None)
+        rule = self._rules.pop(name, None)
         for key in [k for k in self._state if k[0] == name]:
             del self._state[key]
             self._active.discard(key)
+        if rule is None:
+            return
+        self._order.pop(name, None)
+        by_metric = self._index.get(rule.metric)
+        if by_metric is not None and name in by_metric:
+            by_metric.remove(name)
+        for pending in self._pending.values():
+            pending.discard(name)
 
     def forget_node(self, hostname: str) -> None:
         """Drop all per-node rule state and change-suppression memory —
@@ -94,6 +128,8 @@ class EventEngine:
             self._active.discard(key)
         for key in [k for k in self._last if k[0] == hostname]:
             del self._last[key]
+        self._pending.pop(hostname, None)
+        self._rules_seen.pop(hostname, None)
 
     @property
     def rules(self) -> List[ThresholdRule]:
@@ -112,31 +148,74 @@ class EventEngine:
         return len(self._active)
 
     # -- evaluation ---------------------------------------------------------
+    def _candidates(self, hostname: str, values: Dict[str, object]):
+        """The rules one update can possibly affect, in legacy scan order.
+
+        An update touches a rule iff (a) the rule's metric is in the
+        delta, or (b) the rule is maturing a hold_time for this host (the
+        clock alone can trigger it).  Everything else is provably a
+        no-op: an OK rule re-evaluates an unchanged value to the same
+        verdict, and a TRIGGERED rule cannot clear on a value that did
+        not clear it last time.  Index invalidation: ``add_rule`` bumps
+        the rule-set version, forcing one full scan per host (which
+        initialises the new rule against remembered values);
+        ``remove_rule`` needs no invalidation because skipping a deleted
+        rule is always correct.
+        """
+        if not self.indexed:
+            return self._rules.values()
+        if self._rules_seen.get(hostname) != self._rules_version:
+            self._rules_seen[hostname] = self._rules_version
+            return self._rules.values()
+        pending = self._pending.get(hostname)
+        if len(self._rules) <= len(values):
+            # Fewer rules than delta metrics: filtering the rule list
+            # directly beats walking the index.
+            return [rule for rule in self._rules.values()
+                    if rule.metric in values
+                    or (pending and rule.name in pending)]
+        index = self._index
+        names: set[str] = set()
+        for metric in values:
+            hit = index.get(metric)
+            if hit:
+                names.update(hit)
+        if pending:
+            names.update(pending)
+        if not names:
+            return ()
+        rules = self._rules
+        return [rules[name] for name in
+                sorted(names, key=self._order.__getitem__)]
+
     def feed(self, node: SimulatedNode,
              values: Dict[str, object]) -> List[FiredEvent]:
-        """Evaluate all rules against one node's (partial) update.
+        """Evaluate the affected rules against one node's (partial)
+        update.
 
         Metrics absent from ``values`` leave their rules untouched — the
         consolidation stage only ships changes, so absence means "same as
         before", not "unknown".
         """
         now = self.kernel.now
+        hostname = node.hostname
+        last = self._last
         for name, value in values.items():
-            self._last[(node.hostname, name)] = value
+            last[(hostname, name)] = value
         fired: List[FiredEvent] = []
         missing = object()
-        for rule in self._rules.values():
-            if not rule.applies_to(node.hostname):
+        for rule in self._candidates(hostname, values):
+            if not rule.applies_to(hostname):
                 continue
             # Absent metrics mean "unchanged" under change suppression —
             # evaluate against the last known value so hold-time rules
             # still mature while a breached value sits constant.
             value = values.get(
                 rule.metric,
-                self._last.get((node.hostname, rule.metric), missing))
+                last.get((hostname, rule.metric), missing))
             if value is missing:
                 continue
-            key = (rule.name, node.hostname)
+            key = (rule.name, hostname)
             state = self._state.get(key)
             if state is None:
                 state = self._state[key] = _RuleState()
@@ -145,20 +224,25 @@ class EventEngine:
                 if rule.breached(value):
                     if state.pending_since is None:
                         state.pending_since = now
+                        self._pending.setdefault(hostname,
+                                                 set()).add(rule.name)
                     if now - state.pending_since >= rule.hold_time:
                         state.triggered = True
                         state.pending_since = None
+                        self._pending[hostname].discard(rule.name)
                         self._active.add(key)
                         fired.append(self._fire(rule, node, value))
                 else:
-                    state.pending_since = None
+                    if state.pending_since is not None:
+                        state.pending_since = None
+                        self._pending[hostname].discard(rule.name)
             else:
                 if rule.cleared(value):
                     state.triggered = False
                     self._active.discard(key)
                     if self.notifier is not None:
                         self.notifier.event_cleared(rule.name,
-                                                    node.hostname)
+                                                    hostname)
         self.fired.extend(fired)
         for event in fired:
             rule = self._rules.get(event.rule)
@@ -198,6 +282,13 @@ class EventEngine:
         if state is not None:
             state.triggered = False
             state.pending_since = None
+        pending = self._pending.get(hostname)
+        if pending is not None:
+            pending.discard(rule_name)
+        # Force one full scan on the node's next update: re-fire must
+        # re-evaluate the (possibly still breached, unchanged) value the
+        # index would otherwise skip.
+        self._rules_seen.pop(hostname, None)
         self._active.discard((rule_name, hostname))
         if self.notifier is not None:
             self.notifier.event_cleared(rule_name, hostname)

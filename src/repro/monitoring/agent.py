@@ -72,23 +72,41 @@ class NodeAgent:
         self._running = False
 
     # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the agent is active (self-driven or scheduler-driven)."""
+        return self._running
+
     def start(self) -> None:
+        """Activate with a dedicated driver process (the legacy path)."""
+        if self._running:
+            return
+        self.scheduled_start()
+        self._process = self.kernel.process(
+            self._loop(), name=f"agent:{self.node.hostname}")
+
+    def scheduled_start(self) -> None:
+        """Activate without a process — an
+        :class:`~repro.monitoring.scheduler.AgentScheduler` will call
+        :meth:`tick` instead."""
         if self._running:
             return
         self._running = True
         self.node.cpu.set_overhead(
             "monitoring", PER_SAMPLE_CPU_SECONDS / self.interval)
-        self._process = self.kernel.process(
-            self._loop(), name=f"agent:{self.node.hostname}")
 
     def stop(self) -> None:
         self._running = False
         self.node.cpu.set_overhead("monitoring", 0.0)
 
+    def tick(self) -> None:
+        """One scheduled sample (skipped while the node is down or hung)."""
+        if self.node.is_running() and self.node.state.value != "hung":
+            self.sample_once()
+
     def _loop(self):
         while self._running:
-            if self.node.is_running() and self.node.state.value != "hung":
-                self.sample_once()
+            self.tick()
             yield self.kernel.timeout(self.interval)
 
     # -- one sample ---------------------------------------------------------
@@ -96,6 +114,17 @@ class NodeAgent:
         """Evaluate every registered monitor; plugin failures are recorded
         and skipped rather than killing the sample."""
         ctx = MonitorContext(node=self.node, t=self.kernel.now)
+        fast = self.registry.fast_sampler
+        if fast is not None:
+            # Value-identical hoisted sampler for the unmodified builtin
+            # set (plugin registration clears it).  Any failure falls
+            # back to the generic loop, which records the culprit.
+            try:
+                return fast(ctx)
+            except Exception:  # worx: ok WORX106
+                # Nothing is lost: the generic loop below re-evaluates
+                # every monitor and records the failing one in errors.
+                pass
         values: Dict[str, object] = {}
         for monitor in self.registry.monitors():
             try:

@@ -70,17 +70,31 @@ class Consolidator:
         more than the deadband.
         """
         delta: Dict[str, object] = {}
+        transmitted = self._transmitted
+        current = self._current
+        static_names = self.static_names
+        deadband = self.deadband
+        # _changed() inlined: this loop runs once per metric per sample on
+        # every node, and the call overhead dominates the comparison.
         for name, value in values.items():
-            self.values_seen += 1
-            self._current[name] = value
-            if name in self.static_names and name in self._static_sent:
-                if not self._changed(name, value):
+            current[name] = value
+            old = transmitted.get(name, _MISSING)
+            if old is not _MISSING:
+                if deadband > 0.0 \
+                        and isinstance(value, (int, float)) \
+                        and isinstance(old, (int, float)) \
+                        and not isinstance(value, bool):
+                    scale = abs(old) if old != 0 \
+                        else max(abs(value), 1e-12)
+                    if abs(value - old) / scale <= deadband:
+                        continue
+                elif value == old:
                     continue
-            if self._changed(name, value):
-                delta[name] = value
-                self._transmitted[name] = value
-                if name in self.static_names:
-                    self._static_sent.add(name)
+            delta[name] = value
+            transmitted[name] = value
+            if name in static_names:
+                self._static_sent.add(name)
+        self.values_seen += len(values)
         self.values_released += len(delta)
         self._cache_time = t
         return delta

@@ -48,7 +48,7 @@ class HistoryStore:
         """Typed entry point: store one
         :class:`~repro.core.statestore.Update` — the store-subscription
         form of :meth:`record`."""
-        self.record(update.hostname, update.time, dict(update.values))
+        self.record(update.hostname, update.time, update.values)
 
     def forget(self, hostname: str) -> None:
         """Drop every series for a decommissioned node."""

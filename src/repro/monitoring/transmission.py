@@ -81,6 +81,17 @@ class TextCodec:
             lines.append(f"{name} {values[name]}")
         return len(("\n".join(lines) + "\n").encode("utf-8"))
 
+    def encode_counted(self, hostname: str, t: float,
+                       values: Dict[str, object]) -> Tuple[bytes, int]:
+        """``(encode(...), raw_size(...))`` formatting the text once."""
+        lines = [f"@ {hostname} {t:.3f}"]
+        for name in sorted(values):
+            lines.append(f"{name} {values[name]}")
+        raw = ("\n".join(lines) + "\n").encode("utf-8")
+        if self.compress:
+            return zlib.compress(raw, self.level), len(raw)
+        return raw, len(raw)
+
 
 def _parse_value(raw: str) -> object:
     try:
@@ -260,21 +271,22 @@ class Transmitter:
     def transmit_update(self, update: Update
                         ) -> Tuple[bytes, Optional[Event]]:
         """Typed entry point: encode and send one :class:`Update`."""
-        return self.transmit(update.time, dict(update.values))
+        return self.transmit(update.time, update.values)
 
     def transmit(self, t: float, values: Dict[str, object]
                  ) -> Tuple[bytes, Optional[Event]]:
         """Encode and (if wired to a fabric) send. Returns (payload, event)."""
         if not values:
             return b"", None
-        payload = self.codec.encode(self.src.hostname, t, values)
+        if isinstance(self.codec, TextCodec):
+            payload, raw = self.codec.encode_counted(self.src.hostname, t,
+                                                     values)
+            self.raw_bytes += raw
+        else:
+            payload = self.codec.encode(self.src.hostname, t, values)
+            self.raw_bytes += len(payload)
         self.frames_sent += 1
         self.bytes_sent += len(payload)
-        if isinstance(self.codec, TextCodec):
-            self.raw_bytes += self.codec.raw_size(self.src.hostname, t,
-                                                  values)
-        else:
-            self.raw_bytes += len(payload)
         event = None
         if self.fabric is not None and self.dst is not None:
             event = self.fabric.message(self.src, self.dst, len(payload),

@@ -238,14 +238,16 @@ class NetworkFabric:
         final = self.kernel.event()
         delay = self.latency + nbytes / self.nic_pool(src).capacity
 
-        def _deliver():
-            yield self.kernel.timeout(delay)
+        # A direct timer callback, not a process: one kernel event per
+        # message instead of three (bootstrap, timeout, resume) — this is
+        # the highest-frequency send in the system (every agent sample).
+        def _delivered(_event):
             src.nic.credit_tx(int(nbytes))
             dst.nic.credit_rx(int(nbytes))
             self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0.0) + nbytes
             final.succeed(nbytes)
 
-        self.kernel.process(_deliver(), name=f"msg:{src.hostname}")
+        self.kernel.timeout(delay).callbacks.append(_delivered)
         return final
 
     # -- introspection -----------------------------------------------------

@@ -1,19 +1,32 @@
 """The discrete-event loop: events, timeouts and generator processes.
 
-The kernel keeps a heap of ``(time, priority, seq, event)`` entries.  Running
-the kernel pops entries in order, sets the clock, and invokes each event's
-callbacks.  Processes are plain Python generators that ``yield`` events; the
-kernel resumes a process when the yielded event fires, sending the event's
-value back into the generator (or throwing, if the event failed).
+The kernel buckets scheduled events by exact fire time: a timer wheel
+(``dict`` keyed by time, one FIFO pair per distinct instant) plus a heap
+of *distinct* pending times.  Cluster workloads are dominated by
+fixed-interval timeouts — thousands of agents, sweeps and message
+deliveries landing on the same instant — so scheduling one of them is an
+O(1) append to an existing bucket instead of an O(log n) heap push per
+event; the heap only orders the (few) distinct times.  Irregular events
+simply occupy single-entry buckets, so nothing needs to classify them.
 
-Only *relative* determinism matters for the reproduction: two runs with the
-same seed produce identical schedules because ties are broken by a
-monotonically increasing sequence number, never by object identity.
+Within one instant the processing order is exactly the old heap order:
+all URGENT entries before all NORMAL entries, FIFO within each class
+(creation order — the old monotone sequence number is implied by append
+order).  Two runs with the same seed therefore still produce identical
+schedules, and schedules are identical to the heap-only implementation's.
+
+Processes are plain Python generators that ``yield`` events; the kernel
+resumes a process when the yielded event fires, sending the event's value
+back into the generator (or throwing, if the event failed).  Interrupt
+and kill *lazily cancel* the process's subscription to whatever it was
+waiting on: instead of an O(n) ``list.remove`` on the target's callback
+list, the target is marked stale and its eventual resumption is ignored.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -60,6 +73,8 @@ class Event:
     kernel has run its callbacks.
     """
 
+    __slots__ = ("kernel", "callbacks", "_value", "_ok", "defused")
+
     def __init__(self, kernel: "SimKernel"):
         self.kernel = kernel
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -97,7 +112,7 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.kernel._enqueue(self.kernel.now, NORMAL, self)
+        self.kernel._enqueue(self.kernel._now, NORMAL, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,11 +127,13 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.kernel._enqueue(self.kernel.now, NORMAL, self)
+        self.kernel._enqueue(self.kernel._now, NORMAL, self)
         return self
 
     def trigger(self, event: "Event") -> None:
         """Chain: trigger this event with another event's outcome."""
+        if event._value is _PENDING:
+            raise RuntimeError("source event not triggered")
         if event._ok:
             self.succeed(event._value)
         else:
@@ -131,6 +148,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, kernel: "SimKernel", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -138,18 +157,20 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        kernel._enqueue(kernel.now + delay, NORMAL, self)
+        kernel._enqueue(kernel._now + delay, NORMAL, self)
 
 
 class Initialize(Event):
     """Internal: bootstraps a process at the current time, urgently."""
+
+    __slots__ = ()
 
     def __init__(self, kernel: "SimKernel", process: "Process"):
         super().__init__(kernel)
         self.callbacks.append(process._resume)
         self._ok = True
         self._value = None
-        kernel._enqueue(kernel.now, URGENT, self)
+        kernel._enqueue(kernel._now, URGENT, self)
 
 
 class Process(Event):
@@ -160,6 +181,8 @@ class Process(Event):
     :class:`Interrupt` into the generator at the current simulation time.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_stale")
+
     def __init__(self, kernel: "SimKernel", generator: Generator,
                  name: str = ""):
         if not hasattr(generator, "throw"):
@@ -167,11 +190,22 @@ class Process(Event):
         super().__init__(kernel)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: events this process detached from (lazy cancellation): their
+        #: eventual firing must not resume the process.
+        self._stale: Optional[set] = None
         self._target: Optional[Event] = Initialize(kernel, self)
 
     @property
     def is_alive(self) -> bool:
         return self._value is _PENDING
+
+    def _detach(self) -> None:
+        """Lazily cancel the subscription to the current wait target."""
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            if self._stale is None:
+                self._stale = set()
+            self._stale.add(target)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process (at the current time)."""
@@ -184,20 +218,16 @@ class Process(Event):
         event._value = Interrupt(cause)
         event.defused = True
         event.callbacks.append(self._resume)
-        self.kernel._enqueue(self.kernel.now, URGENT, event)
+        self.kernel._enqueue(self.kernel._now, URGENT, event)
         # Detach from what we were waiting on so the old event does not also
         # resume us later.
-        if (self._target.callbacks is not None
-                and self._resume in self._target.callbacks):
-            self._target.callbacks.remove(self._resume)
+        self._detach()
 
     def kill(self) -> None:
         """Forcibly terminate the process via :class:`ProcessKilled`."""
         if not self.is_alive:
             return
-        if (self._target is not None and self._target.callbacks is not None
-                and self._resume in self._target.callbacks):
-            self._target.callbacks.remove(self._resume)
+        self._detach()
         try:
             self._generator.throw(ProcessKilled())
         except (ProcessKilled, StopIteration):
@@ -205,10 +235,17 @@ class Process(Event):
         if self.is_alive:
             self._ok = True
             self._value = None
-            self.kernel._enqueue(self.kernel.now, NORMAL, self)
+            self.kernel._enqueue(self.kernel._now, NORMAL, self)
 
     # -- resumption -----------------------------------------------------
     def _resume(self, event: Event) -> None:
+        stale = self._stale
+        if stale is not None and event in stale:
+            # Lazily-cancelled subscription: the waiter moved on before
+            # this event fired.  Failures keep their old semantics — we
+            # do not defuse what we no longer handle.
+            stale.discard(event)
+            return
         self.kernel._active = self
         while True:
             try:
@@ -220,17 +257,17 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.kernel._enqueue(self.kernel.now, NORMAL, self)
+                self.kernel._enqueue(self.kernel._now, NORMAL, self)
                 break
             except ProcessKilled:
                 self._ok = True
                 self._value = None
-                self.kernel._enqueue(self.kernel.now, NORMAL, self)
+                self.kernel._enqueue(self.kernel._now, NORMAL, self)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.kernel._enqueue(self.kernel.now, NORMAL, self)
+                self.kernel._enqueue(self.kernel._now, NORMAL, self)
                 break
             if not isinstance(target, Event):
                 exc = RuntimeError(
@@ -257,6 +294,8 @@ class ConditionValue(dict):
 
 class _Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_count", "_completed")
 
     def __init__(self, kernel: "SimKernel", events: Iterable[Event]):
         super().__init__(kernel)
@@ -300,6 +339,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires once *all* of the given events have fired."""
 
+    __slots__ = ()
+
     def _match(self, count: int, total: int) -> bool:
         return count == total
 
@@ -307,8 +348,20 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires once *any* of the given events has fired."""
 
+    __slots__ = ()
+
     def _match(self, count: int, total: int) -> bool:
         return count >= 1
+
+
+class _Bucket:
+    """All events scheduled for one exact instant, split by priority."""
+
+    __slots__ = ("urgent", "normal")
+
+    def __init__(self) -> None:
+        self.urgent: deque = deque()
+        self.normal: deque = deque()
 
 
 class SimKernel:
@@ -325,13 +378,27 @@ class SimKernel:
         proc = kernel.process(worker(kernel))
         kernel.run()
         assert proc.value == "done"
+
+    ``timer_wheel=False`` selects the legacy single-heap scheduler (one
+    ``(time, priority, seq, event)`` entry per event).  Both schedulers
+    process events in the identical order; the flag exists so the
+    determinism suite and bench_e16 can compare them.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, *, timer_wheel: bool = True):
         self._now = float(start_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = 0
         self._active: Optional[Process] = None
+        self._pending = 0
+        #: total events processed by step() — the denominator benchmarks
+        #: use for events/s.
+        self.events_processed = 0
+        self.timer_wheel = timer_wheel
+        if timer_wheel:
+            self._wheel: dict[float, _Bucket] = {}
+            self._times: list[float] = []
+        else:
+            self._heap: list[tuple[float, int, int, Event]] = []
+            self._seq = 0
 
     @property
     def now(self) -> float:
@@ -360,16 +427,51 @@ class SimKernel:
 
     # -- scheduling -----------------------------------------------------
     def _enqueue(self, time: float, priority: int, event: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        self._pending += 1
+        if self.timer_wheel:
+            bucket = self._wheel.get(time)
+            if bucket is None:
+                bucket = self._wheel[time] = _Bucket()
+                heapq.heappush(self._times, time)
+            if priority == NORMAL:
+                bucket.normal.append(event)
+            else:
+                bucket.urgent.append(event)
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (time, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if not self._pending:
+            return float("inf")
+        if not self.timer_wheel:
+            return self._heap[0][0]
+        times = self._times
+        while True:
+            time = times[0]
+            bucket = self._wheel[time]
+            if bucket.urgent or bucket.normal:
+                return time
+            # Exhausted instant: retire it and look at the next one.
+            heapq.heappop(times)
+            del self._wheel[time]
+
+    def _pop(self) -> tuple[float, Event]:
+        if not self.timer_wheel:
+            time, _prio, _seq, event = heapq.heappop(self._heap)
+            return time, event
+        time = self.peek()
+        bucket = self._wheel[time]
+        if bucket.urgent:
+            return time, bucket.urgent.popleft()
+        return time, bucket.normal.popleft()
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
-        time, _prio, _seq, event = heapq.heappop(self._heap)
+        time, event = self._pop()
+        self._pending -= 1
+        self.events_processed += 1
         if time < self._now:
             raise RuntimeError("event scheduled in the past")
         self._now = time
@@ -380,20 +482,21 @@ class SimKernel:
             raise event._value
 
     def run(self, until: Optional[float | Event] = None) -> Any:
-        """Run until the heap drains, a deadline passes, or an event fires.
+        """Run until the schedule drains, a deadline passes, or an event
+        fires.
 
         ``until`` may be a simulation time (the clock is advanced exactly to
         it) or an :class:`Event` (its value is returned; a failed event
         re-raises its exception).
         """
         if until is None:
-            while self._heap:
+            while self._pending:
                 self.step()
             return None
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                if not self._heap:
+                if not self._pending:
                     raise RuntimeError(
                         "no scheduled events left but 'until' event "
                         "has not fired")
@@ -405,7 +508,7 @@ class SimKernel:
         if deadline < self._now:
             raise ValueError(
                 f"deadline {deadline} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= deadline:
+        while self._pending and self.peek() <= deadline:
             self.step()
         self._now = deadline
         return None

@@ -12,6 +12,7 @@ Two variants are used throughout the framework:
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
@@ -67,44 +68,53 @@ class ByteRingBuffer:
 
 
 class TimeSeriesRing:
-    """Fixed-capacity (timestamp, value) series backed by numpy arrays.
+    """Fixed-capacity (timestamp, value) series with lazy growth.
 
-    Appends are O(1) amortized; range queries return contiguous numpy views
-    (copies at the wrap seam), which keeps downsampling for historical
-    graphs vectorized — one of the "be easy on the memory / vectorize"
-    idioms the HPC guides call for.
+    Storage is a pair of ``array('d')`` buffers that grow with the data
+    and wrap once ``capacity`` is reached — a monitoring server holds one
+    ring per (host, metric), so hundreds of thousands of mostly-short
+    series must not each pre-pay the full capacity (two 32 KiB numpy
+    blocks per ring ≈ 36 GB at 10k nodes).  Range queries still hand out
+    chronological numpy float64 arrays (zero-copy views of the buffers
+    until the wrap seam forces a copy), so downsampling for historical
+    graphs stays vectorized.
     """
 
     def __init__(self, capacity: int = 4096):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._t = np.empty(capacity, dtype=np.float64)
-        self._v = np.empty(capacity, dtype=np.float64)
+        self._t = array("d")
+        self._v = array("d")
         self._head = 0   # index of next write
-        self._size = 0
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._t)
 
     def append(self, t: float, value: float) -> None:
-        self._t[self._head] = t
-        self._v[self._head] = value
-        self._head = (self._head + 1) % self.capacity
-        if self._size < self.capacity:
-            self._size += 1
+        if len(self._t) < self.capacity:
+            self._t.append(t)
+            self._v.append(value)
+            self._head = len(self._t) % self.capacity
+        else:
+            head = self._head
+            self._t[head] = t
+            self._v[head] = value
+            self._head = (head + 1) % self.capacity
 
     def extend(self, pairs: Iterable[Tuple[float, float]]) -> None:
         for t, v in pairs:
             self.append(t, v)
 
     def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """All stored samples in chronological order."""
-        if self._size < self.capacity:
-            return self._t[: self._size].copy(), self._v[: self._size].copy()
-        order = np.concatenate([np.arange(self._head, self.capacity),
-                                np.arange(0, self._head)])
-        return self._t[order], self._v[order]
+        """All stored samples in chronological order (fresh arrays)."""
+        t = np.frombuffer(self._t, dtype=np.float64)
+        v = np.frombuffer(self._v, dtype=np.float64)
+        head = self._head
+        if len(t) < self.capacity or head == 0:
+            return t.copy(), v.copy()
+        return (np.concatenate([t[head:], t[:head]]),
+                np.concatenate([v[head:], v[:head]]))
 
     def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
         """Samples with ``t0 <= t <= t1`` in chronological order."""
@@ -113,10 +123,12 @@ class TimeSeriesRing:
         return t[mask], v[mask]
 
     def latest(self) -> Optional[Tuple[float, float]]:
-        if self._size == 0:
+        size = len(self._t)
+        if size == 0:
             return None
-        idx = (self._head - 1) % self.capacity
-        return float(self._t[idx]), float(self._v[idx])
+        idx = (self._head - 1) % self.capacity if size == self.capacity \
+            else size - 1
+        return self._t[idx], self._v[idx]
 
     def downsample(self, buckets: int) -> Tuple[np.ndarray, np.ndarray,
                                                 np.ndarray, np.ndarray]:

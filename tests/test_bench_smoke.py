@@ -1,0 +1,35 @@
+"""Tier-1 canary for the E16 hot path (`make bench-smoke`).
+
+Runs the tiny scaling cell — 200 self-healing nodes for 60 simulated
+seconds — through the real benchmark code and fails if it blows a
+wall-clock budget set at ~5x the measured cost on the machine class
+this repo targets.  The point is not a precise number: it is that an
+accidental O(N^2) (or a per-sample process spawn creeping back into
+the agent/ingest path) shows up as a 10-100x blowup, far beyond any
+plausible machine variance, while the budget stays comfortably above
+CI noise.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+from bench_e16_scaling import run_cell  # noqa: E402
+
+#: ~5x the observed tiny-cell wall clock (sub-second at time of writing).
+TINY_BUDGET_S = 10.0
+
+
+def test_bench_smoke_within_budget():
+    start = time.perf_counter()
+    row = run_cell(200, 60.0, mode="fast")
+    wall = time.perf_counter() - start
+    # the cell actually did the work: every agent sampled at 5 s cadence
+    assert row["updates"] >= 200 * 12
+    assert row["rules_fired"] == 0  # quiet cluster, no faults injected
+    assert wall < TINY_BUDGET_S, (
+        f"tiny E16 cell took {wall:.1f}s (budget {TINY_BUDGET_S}s) — "
+        f"hot-path regression?")
