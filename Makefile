@@ -4,7 +4,7 @@
 PYTHON    ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test bench bench-smoke baseline chaos
+.PHONY: check lint test bench bench-smoke baseline chaos serve
 
 check: lint test
 
@@ -20,11 +20,18 @@ test:
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# Tiny E16 scaling cell (200 nodes, 60 sim-seconds): a seconds-long
-# canary for hot-path regressions.  tests/test_bench_smoke.py runs the
-# same cell inside tier-1 with a generous wall-clock budget.
+# Tiny E16 scaling cell (200 nodes, 60 sim-seconds) plus the tiny E17
+# gateway cell (200 nodes, 2 s of real serving): seconds-long canaries
+# for hot-path and serving regressions.  tests/test_bench_smoke.py runs
+# the same cells inside tier-1 with generous wall-clock budgets.
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_e16_scaling.py --tiny
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_e17_gateway.py --tiny
+
+# Serve a simulated cluster's state over HTTP on 127.0.0.1:8137:
+# /v1/summary /v1/hosts /v1/query /v1/events /v1/history /v1/watch /stats.
+serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve --nodes 100
 
 # Self-healing drill: inject a mixed fault campaign and fail unless
 # every fault reaches a terminal outcome with zero defused errors.

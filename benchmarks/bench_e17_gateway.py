@@ -1,0 +1,282 @@
+"""E17 — gateway serving under load: QPS, latency, watch fan-out.
+
+The question this experiment answers: with the simulation ticking a
+large cluster on its own thread, how much *real* request traffic can
+the asyncio gateway serve off the published copy-on-write views, and
+what does a thousand-client watch fan-out cost?
+
+Per cell, real wall-clock measurements (this is actual socket I/O, not
+simulated time):
+
+* a pool of REST pollers hammering ``/v1/summary`` (the O(1) rollup
+  read) for the duration — recorded as QPS and p50/p99 latency from
+  the gateway's own /stats reservoir;
+* ``watchers`` concurrent ``/v1/watch`` streams (host-filtered, binary
+  frames) held open while the simulation publishes deltas underneath;
+* the snapshot-sharing proof: after thousands of requests,
+  ``store.full_copies`` must still be 0 and the served requests must
+  have shared the published views (requests >> publishes);
+* the wire-size check: the binary summary payload must be at most 60%
+  of the JSON payload for the same frame.
+
+Run modes::
+
+    python benchmarks/bench_e17_gateway.py --tiny   # 200 nodes, smoke
+    python benchmarks/bench_e17_gateway.py --full   # 10k nodes, 1000 watchers
+    python benchmarks/bench_e17_gateway.py --cell 4000 15 --watchers 200
+
+``--tiny`` is the tier-1 guard (tests/test_bench_smoke.py); ``--full``
+regenerates BENCH_e17.json's committed row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import struct
+import sys
+import time
+
+from repro import ClusterWorX
+from repro.gateway import (BINARY_CONTENT_TYPE, GatewayService, WatchPolicy,
+                           fetch)
+
+SEED = 1610
+AGENT_INTERVAL = 5.0
+
+
+async def _poller(service: GatewayService, stop: asyncio.Event,
+                  accept: str) -> int:
+    """One REST client polling the summary until told to stop."""
+    served = 0
+    while not stop.is_set():
+        status, _, _ = await fetch("127.0.0.1", service.port,
+                                   "/v1/summary", accept=accept)
+        if status == 200:
+            served += 1
+    return served
+
+
+class _FrameCounter:
+    """Counts length-prefixed binary frames without buffering payloads."""
+
+    __slots__ = ("need", "header", "frames")
+
+    def __init__(self):
+        self.need = 0      # payload bytes left to skip
+        self.header = b""  # partially-read 4-byte length prefix
+        self.frames = 0
+
+    def feed(self, chunk: bytes) -> None:
+        pos, n = 0, len(chunk)
+        while pos < n:
+            if self.need:
+                step = min(self.need, n - pos)
+                self.need -= step
+                pos += step
+                continue
+            take = min(4 - len(self.header), n - pos)
+            self.header += chunk[pos:pos + take]
+            pos += take
+            if len(self.header) == 4:
+                (length,) = struct.unpack("<I", self.header)
+                self.header = b""
+                self.need = length
+                self.frames += 1
+
+
+async def _watcher(service: GatewayService, hosts: str,
+                   stop: asyncio.Event) -> int:
+    """One watch stream held open; counts delta frames received."""
+    reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                   service.port)
+    writer.write(f"GET /v1/watch?hosts={hosts} HTTP/1.1\r\n"
+                 f"Host: bench\r\nAccept: {BINARY_CONTENT_TYPE}\r\n"
+                 "\r\n".encode("latin-1"))
+    await writer.drain()
+    await reader.readuntil(b"\r\n\r\n")
+    counter = _FrameCounter()
+    try:
+        while not stop.is_set():
+            try:
+                chunk = await asyncio.wait_for(reader.read(65536),
+                                               timeout=0.5)
+            except asyncio.TimeoutError:
+                continue
+            if not chunk:
+                break
+            counter.feed(chunk)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return counter.frames
+
+
+async def run_cell_async(n_nodes: int, serve_seconds: float, *,
+                         watchers: int, pollers: int,
+                         seed: int = SEED) -> dict:
+    cwx = ClusterWorX(n_nodes=n_nodes, seed=seed,
+                      monitor_interval=AGENT_INTERVAL)
+    cwx.start()
+    cwx.run(30.0)  # warm the store before serving
+    service = GatewayService(
+        cwx.server, cluster=cwx.cluster,
+        max_watchers=max(watchers + 16, 10000),
+        policy=WatchPolicy(queue_limit=64, evict_backlog=256))
+    await service.start()
+    service.driver.start()
+
+    # wire-size check against the same live summary
+    _, _, json_body = await fetch("127.0.0.1", service.port,
+                                  "/v1/summary")
+    _, _, bin_body = await fetch("127.0.0.1", service.port,
+                                 "/v1/summary",
+                                 accept=BINARY_CONTENT_TYPE)
+    binary_ratio = len(bin_body) / len(json_body)
+
+    hostnames = cwx.cluster.hostnames
+    span = max(1, len(hostnames) // max(watchers, 1))
+    stop = asyncio.Event()
+    watch_tasks = [
+        asyncio.create_task(_watcher(
+            service,
+            ",".join(hostnames[(i * span) % len(hostnames):
+                               (i * span) % len(hostnames) + span]),
+            stop))
+        for i in range(watchers)]
+    deadline = time.perf_counter() + max(10.0, watchers / 100.0)
+    while service.hub.active_watchers < watchers \
+            and time.perf_counter() < deadline:
+        await asyncio.sleep(0.05)
+    active_peak = service.hub.active_watchers
+
+    poll_tasks = [
+        asyncio.create_task(_poller(
+            service, stop,
+            BINARY_CONTENT_TYPE if i % 2 else "application/json"))
+        for i in range(pollers)]
+
+    start = time.perf_counter()
+    await asyncio.sleep(serve_seconds)
+    stop.set()
+    polled = sum(await asyncio.gather(*poll_tasks))
+    watched = sum(await asyncio.gather(*watch_tasks))
+    wall = time.perf_counter() - start
+
+    stats = service.stats_values()
+    store = cwx.server.store
+    service.driver.stop()
+    await service.stop()
+
+    # -- acceptance: snapshot sharing, not copying -------------------------
+    assert store.full_copies == 0, \
+        f"serving forced {store.full_copies} full-state copies"
+    assert stats["requests"] > stats["publishes"], \
+        "requests did not outnumber published views — no sharing shown"
+    assert binary_ratio <= 0.6, \
+        f"binary summary is {binary_ratio:.0%} of JSON (want <= 60%)"
+
+    return {
+        "n_nodes": n_nodes,
+        "serve_seconds": round(wall, 3),
+        "mode": "gateway",
+        "seed": seed,
+        "watchers": active_peak,
+        "pollers": pollers,
+        "requests": stats["requests"],
+        "qps": stats["qps"],
+        "latency_p50_ms": stats["latency_p50_ms"],
+        "latency_p99_ms": stats["latency_p99_ms"],
+        "bytes_out": stats["bytes_out"],
+        "watch_frames": stats["watch_frames"],
+        "watch_frames_per_wall_s": round(watched / wall, 1),
+        "watch_coalesced": stats["watch_coalesced"],
+        "watch_evictions": stats["watch_evictions"],
+        "publishes": stats["publishes"],
+        "publish_reuses": stats["publish_reuses"],
+        "requests_per_publish":
+            round(stats["requests"] / max(stats["publishes"], 1), 1),
+        "binary_ratio": round(binary_ratio, 3),
+        "full_copies": store.full_copies,
+        "snapshots_taken": store.snapshots_taken,
+        "polled_ok": polled,
+    }
+
+
+def run_cell(n_nodes: int, serve_seconds: float, *, watchers: int,
+             pollers: int, seed: int = SEED) -> dict:
+    return asyncio.run(run_cell_async(
+        n_nodes, serve_seconds, watchers=watchers, pollers=pollers,
+        seed=seed))
+
+
+def print_row(row: dict) -> None:
+    print(f"  n={row['n_nodes']:6d} watchers={row['watchers']:5d} "
+          f"serve={row['serve_seconds']:6.1f}s "
+          f"qps={row['qps']:8.1f} "
+          f"p50={row['latency_p50_ms']:7.2f}ms "
+          f"p99={row['latency_p99_ms']:7.2f}ms "
+          f"watch-frames/s={row['watch_frames_per_wall_s']:9.1f} "
+          f"req/publish={row['requests_per_publish']:7.1f} "
+          f"bin-ratio={row['binary_ratio']:.3f} "
+          f"full-copies={row['full_copies']}",
+          flush=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke cell: 200 nodes, 2 s serve, "
+                             "20 watchers")
+    parser.add_argument("--full", action="store_true",
+                        help="the E17 cell: 10k nodes, 30 s serve, "
+                             "1000 watchers")
+    parser.add_argument("--cell", nargs=2, type=float, metavar=("N", "S"),
+                        help="one cell: N nodes served for S wall-seconds")
+    parser.add_argument("--watchers", type=int, default=None)
+    parser.add_argument("--pollers", type=int, default=32)
+    parser.add_argument("--json", metavar="PATH",
+                        help="append result rows to PATH as a JSON list")
+    args = parser.parse_args(argv)
+
+    rows = []
+    if args.tiny:
+        rows.append(run_cell(200, 2.0,
+                             watchers=args.watchers or 20,
+                             pollers=min(args.pollers, 8)))
+    elif args.cell:
+        rows.append(run_cell(int(args.cell[0]), args.cell[1],
+                             watchers=args.watchers or 100,
+                             pollers=args.pollers))
+    elif args.full:
+        rows.append(run_cell(10000, 30.0,
+                             watchers=args.watchers or 1000,
+                             pollers=args.pollers))
+    else:
+        parser.error("pick one of --tiny / --cell / --full")
+
+    print("E17 gateway serving "
+          f"(agents {AGENT_INTERVAL:.0f}s, binary+json pollers, "
+          f"host-filtered binary watchers, seed {SEED}):")
+    for row in rows:
+        print_row(row)
+
+    if args.json:
+        try:
+            with open(args.json) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = []
+        existing.extend(rows)
+        with open(args.json, "w") as fh:
+            json.dump(existing, fh, indent=2)
+            fh.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

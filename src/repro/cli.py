@@ -350,6 +350,54 @@ def _cmd_exec(args) -> int:
     return 0 if task.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the asyncio gateway over a live simulated cluster."""
+    import asyncio
+
+    from repro import ClusterWorX
+    from repro.gateway import GatewayService, WatchPolicy
+
+    async def run() -> int:
+        cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
+                          monitor_interval=args.interval)
+        cwx.start()
+        cwx.run(60.0)  # warm the store so first requests see real data
+        service = GatewayService(
+            cwx.server, cluster=cwx.cluster,
+            host=args.host, port=args.port,
+            policy=WatchPolicy(queue_limit=args.queue_limit))
+        await service.start()
+        service.driver.start()
+        print(f"gateway: {args.nodes} simulated nodes on "
+              f"{service.url}  (endpoints: /v1/summary /v1/hosts "
+              f"/v1/query /v1/events /v1/history /v1/watch /stats)")
+        try:
+            if args.seconds:
+                await asyncio.sleep(args.seconds)
+            else:
+                while True:  # serve until interrupted
+                    await asyncio.sleep(3600.0)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            service.driver.stop()
+            await service.stop()
+        stats = service.stats_values()
+        print(f"served {stats['requests']} requests "
+              f"({stats['qps']:.1f}/s, p99 {stats['latency_p99_ms']:.2f} ms, "
+              f"{stats['bytes_out']} B out) | "
+              f"watch frames {stats['watch_frames']} | "
+              f"views published {stats['publishes']} "
+              f"reused {stats['publish_reuses']} | "
+              f"full copies {cwx.server.store.full_copies}")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="clusterworx",
@@ -454,6 +502,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interval", type=float, default=15.0,
                    help="agent monitoring interval")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("serve",
+                       help="serve cluster state over HTTP (gateway)")
+    p.add_argument("--nodes", type=int, default=100,
+                   help="cluster size to simulate")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8137,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--seconds", type=float, default=0.0,
+                   help="wall-clock serve time (0 = until Ctrl-C)")
+    p.add_argument("--interval", type=float, default=5.0,
+                   help="agent monitoring interval (simulated seconds)")
+    p.add_argument("--queue-limit", type=int, default=128,
+                   help="verbatim deltas buffered per watch client "
+                        "before coalescing")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("exec",
                        help="fan a command out over a simulated cluster")

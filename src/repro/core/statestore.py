@@ -28,6 +28,7 @@ makes both true:
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Mapping as MappingABC
 from types import MappingProxyType
 from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
@@ -36,6 +37,8 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
 from repro.monitoring.records import Sample, Update
 
 __all__ = ["Update", "Sample", "Snapshot", "Subscription", "StateStore"]
+
+_log = logging.getLogger("repro.core.statestore")
 
 _EMPTY: Mapping[str, object] = MappingProxyType({})
 
@@ -82,7 +85,7 @@ class Subscription:
     """A registered consumer of pushed deltas. ``cancel()`` to detach."""
 
     __slots__ = ("store", "callback", "name", "hosts", "metrics",
-                 "delivered", "active")
+                 "delivered", "active", "consecutive_errors")
 
     def __init__(self, store: "StateStore",
                  callback: Callable[[Update], None], *,
@@ -97,6 +100,9 @@ class Subscription:
             set(metrics) if metrics else None
         self.delivered = 0
         self.active = True
+        #: errors since the last successful delivery; the store detaches
+        #: the subscription when this crosses its error limit.
+        self.consecutive_errors = 0
 
     def wants(self, update: Update) -> bool:
         if self.hosts is not None and update.hostname not in self.hosts:
@@ -167,6 +173,15 @@ class StateStore:
         #: (subscriber name, hostname, error text) for callbacks that
         #: raised; one bad consumer must not stall the datapath.
         self.errors: List[Tuple[str, str, str]] = []
+        #: consecutive callback failures a subscriber is allowed before
+        #: the store detaches it.  A consumer that raises on *every*
+        #: delivery would otherwise silently tax each publish forever —
+        #: the gateway's bounded-queue adapter relies on misbehaving
+        #: consumers being cut off rather than degrading the datapath.
+        self.subscriber_error_limit = 5
+        #: (subscriber name, error text) for subscriptions the store
+        #: force-detached after ``subscriber_error_limit`` failures.
+        self.detached: List[Tuple[str, str]] = []
 
     # -- membership ---------------------------------------------------------
     def track(self, hostname: str) -> None:
@@ -260,15 +275,15 @@ class StateStore:
                 subs = list(self._subs)
                 subs_version = self._subs_version
             for sub in subs:
-                if not sub.wants(update):
+                if not sub.active or not sub.wants(update):
                     continue
                 try:
                     sub.callback(update)
                 except Exception as exc:  # consumer code is arbitrary
-                    self.errors.append((sub.name, update.hostname,
-                                        str(exc)))
+                    self._note_failure(sub, update, exc)
                     continue
                 sub.delivered += 1
+                sub.consecutive_errors = 0
                 self.notifications += 1
         self.updates_applied += applied
         return applied
@@ -409,13 +424,35 @@ class StateStore:
 
     def _publish(self, update: Update) -> None:
         for sub in list(self._subs):
-            if not sub.wants(update):
+            if not sub.active or not sub.wants(update):
                 continue
             try:
                 sub.callback(update)
             except Exception as exc:  # consumer code is arbitrary
-                self.errors.append((sub.name, update.hostname,
-                                    str(exc)))
+                self._note_failure(sub, update, exc)
                 continue
             sub.delivered += 1
+            sub.consecutive_errors = 0
             self.notifications += 1
+
+    def _note_failure(self, sub: Subscription, update: Update,
+                      exc: Exception) -> None:
+        """Record one callback failure; detach the subscriber once it
+        has failed ``subscriber_error_limit`` consecutive deliveries.
+
+        Error isolation alone is not enough: a consumer whose callback
+        raises on *every* update would keep costing one exception per
+        publish, forever, and nobody would notice.  Past the limit the
+        store cancels the subscription and logs a warning — the
+        slow/broken consumer is cut off, the datapath stays clean.
+        """
+        self.errors.append((sub.name, update.hostname, str(exc)))
+        sub.consecutive_errors += 1
+        if sub.consecutive_errors >= self.subscriber_error_limit:
+            sub.active = False
+            self.unsubscribe(sub)
+            self.detached.append((sub.name, str(exc)))
+            _log.warning(
+                "detaching subscriber %r after %d consecutive callback "
+                "errors (last: %s)", sub.name, sub.consecutive_errors,
+                exc)

@@ -1,0 +1,43 @@
+"""repro.gateway — the async serving front-end over COW snapshots.
+
+A JSON/REST + streaming gateway that serves cluster state straight off
+the :class:`~repro.core.statestore.StateStore`'s copy-on-write
+snapshots without ever touching the simulation thread's hot path, plus
+live watch streams fed by the subscription bus with per-client bounded
+buffers, coalescing under backpressure, and slow-consumer eviction.
+
+Module map (deterministic core, one wall-clock shell):
+
+=========================  ================================================
+:mod:`repro.gateway.wire`    frame model + JSON / E7 binary codecs
+:mod:`repro.gateway.httpd`   HTTP/1.1 parsing, routing, response bytes
+:mod:`repro.gateway.state`   PublishedView capture/refresh + reads
+:mod:`repro.gateway.watch`   WatchHub/WatchClient backpressure machinery
+:mod:`repro.gateway.routes`  endpoint handlers as pure frame producers
+:mod:`repro.gateway.metrics` QPS / latency-quantile accounting
+:mod:`repro.gateway.shell`   asyncio sockets + SimDriver (WORX102 shell)
+=========================  ================================================
+"""
+
+from repro.gateway.httpd import (HttpError, HttpRequest, Route, Router,
+                                 format_response, parse_request,
+                                 stream_header)
+from repro.gateway.metrics import GatewayMetrics
+from repro.gateway.routes import build_router
+from repro.gateway.shell import (GatewayService, SimDriver, fetch,
+                                 read_stream_frames)
+from repro.gateway.state import GatewayState, PublishedView
+from repro.gateway.watch import WatchClient, WatchHub, WatchPolicy
+from repro.gateway.wire import (BINARY_CONTENT_TYPE, JSON_CONTENT_TYPE,
+                                BinaryWire, Frame, JsonWire, negotiate)
+
+__all__ = [
+    "HttpError", "HttpRequest", "Route", "Router", "parse_request",
+    "format_response", "stream_header",
+    "GatewayMetrics", "build_router",
+    "GatewayService", "SimDriver", "fetch", "read_stream_frames",
+    "GatewayState", "PublishedView",
+    "WatchClient", "WatchHub", "WatchPolicy",
+    "BinaryWire", "JsonWire", "Frame", "negotiate",
+    "BINARY_CONTENT_TYPE", "JSON_CONTENT_TYPE",
+]

@@ -1,0 +1,134 @@
+"""The gateway's endpoint handlers, as pure frame producers.
+
+Each handler maps ``(request, path params)`` to ``(status, frames)``;
+the shell picks the wire codec (Accept negotiation) and writes bytes.
+Handlers only ever read the :class:`~repro.gateway.state.GatewayState`
+— hot endpoints off the frozen published view, cold ones through the
+slice lock — so this module stays deterministic and socket-free.
+
+The surface (all ``GET``):
+
+==========================================  =================================
+``/v1/summary``                             cluster rollup (O(1) read)
+``/v1/hosts``                               membership, NodeSet-folded
+``/v1/hosts/{hostname}``                    one node's current values
+``/v1/query?nodes=&metrics=``               NodeSet-filtered bulk read
+``/v1/events``                              active (rule, node) events
+``/v1/events/log?since=&node=&limit=``      fired-event history (locked)
+``/v1/history/{hostname}/{metric}``         downsampled graph or raw window
+``/v1/watch?hosts=&metrics=``               live delta stream (shell-owned)
+``/stats``                                  gateway request metrics
+==========================================  =================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.gateway.httpd import HttpError, HttpRequest, Router
+from repro.gateway.state import GatewayState
+from repro.gateway.wire import Frame
+
+__all__ = ["build_router"]
+
+#: handler result: HTTP status + response frames.
+Result = Tuple[int, List[Frame]]
+
+
+def _split_param(request: HttpRequest, name: str) -> List[str]:
+    raw = request.param(name)
+    return [p for p in raw.split(",") if p] if raw else []
+
+
+def _float_param(request: HttpRequest, name: str,
+                 default: float) -> float:
+    raw = request.param(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise HttpError(400, f"bad float for {name!r}: {raw!r}") \
+            from None
+
+
+def build_router(state: GatewayState,
+                 stats_values: Callable[[], Mapping[str, object]]
+                 ) -> Router:
+    """Wire every endpoint to ``state``; ``stats_values`` is the
+    shell's live metrics snapshot (it owns the wall clock)."""
+
+    def summary(request: HttpRequest, params: Dict[str, str]) -> Result:
+        t, values = state.summary()
+        return 200, [("summary", "cluster", t, values)]
+
+    def hosts(request: HttpRequest, params: Dict[str, str]) -> Result:
+        t = state.view.sim_time
+        names = state.hostnames()
+        return 200, [("hosts", "cluster", t,
+                      {"count": len(names),
+                       "nodes": state.folded_hosts()})]
+
+    def host(request: HttpRequest, params: Dict[str, str]) -> Result:
+        found = state.host(params["hostname"])
+        if found is None:
+            raise HttpError(404, f"unknown host {params['hostname']!r}")
+        t, values = found
+        return 200, [("host", params["hostname"], t, values)]
+
+    def query(request: HttpRequest, params: Dict[str, str]) -> Result:
+        metrics = _split_param(request, "metrics")
+        try:
+            t, rows = state.query(request.param("nodes"),
+                                  metrics or None)
+        except ValueError as exc:  # NodeSet parse errors surface as 400
+            raise HttpError(400, f"bad nodes expression: {exc}") \
+                from None
+        return 200, [("host", hostname, t, values)
+                     for hostname, values in rows]
+
+    def events(request: HttpRequest, params: Dict[str, str]) -> Result:
+        t, active = state.active_events()
+        return 200, [("event", rule, t, {"rule": rule, "node": node})
+                     for rule, node in active]
+
+    def event_log(request: HttpRequest,
+                  params: Dict[str, str]) -> Result:
+        limit = int(_float_param(request, "limit", 100))
+        entries = state.event_log(
+            since=_float_param(request, "since", 0.0),
+            node=request.param("node"), limit=limit)
+        return 200, [("event", e["rule"], e["time"], e)  # type: ignore
+                     for e in entries]
+
+    def history(request: HttpRequest, params: Dict[str, str]) -> Result:
+        hostname, metric = params["hostname"], params["metric"]
+        subject = f"{hostname}/{metric}"
+        t0 = request.param("t0")
+        if t0 is not None:
+            t1 = _float_param(request, "t1", state.view.sim_time)
+            rows = state.history_window(hostname, metric,
+                                        float(t0), t1)
+            return 200, [("history", subject, t, {"value": v})
+                         for t, v in rows]
+        buckets = int(_float_param(request, "buckets", 60))
+        graph = state.history_graph(hostname, metric, buckets=buckets)
+        return 200, [("history", subject, center,
+                      {"mean": mean, "min": lo, "max": hi})
+                     for center, mean, lo, hi in graph]
+
+    def stats(request: HttpRequest, params: Dict[str, str]) -> Result:
+        return 200, [("stats", "gateway", state.view.sim_time,
+                      stats_values())]
+
+    router = Router()
+    router.add("/v1/summary", summary)
+    router.add("/v1/hosts", hosts)
+    router.add("/v1/hosts/{hostname}", host)
+    router.add("/v1/query", query)
+    router.add("/v1/events", events)
+    router.add("/v1/events/log", event_log)
+    router.add("/v1/history/{hostname}/{metric}", history)
+    router.add("/stats", stats)
+    # /v1/watch is registered by the shell: it owns sockets and queues.
+    return router

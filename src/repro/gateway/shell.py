@@ -1,0 +1,357 @@
+"""The gateway's serving shell: asyncio sockets, wall clocks, threads.
+
+This is the one module in :mod:`repro.gateway` allowed to read real
+clocks — it is the declared WORX102 shell (like ``cli.py``), because it
+measures *actual* request latency and paces *actual* traffic; every
+policy decision (routing, framing, backpressure, metrics arithmetic)
+lives in the deterministic sibling modules.
+
+Two worlds, one contract:
+
+* :class:`SimDriver` runs the simulation on its own thread in bounded
+  slices, holding the slice lock only while the kernel steps, and
+  publishes a fresh immutable view through
+  :meth:`~repro.gateway.state.GatewayState.refresh` after each slice.
+* :class:`GatewayService` serves HTTP/1.1 on an asyncio event loop.
+  Hot endpoints read the published view (no lock, no sim-thread work);
+  watch streams drain :class:`~repro.gateway.watch.WatchClient`
+  buffers that the sim thread fills through the subscription bus.
+  ``await writer.drain()`` is the per-client backpressure valve — a
+  slow socket backs its own buffer up into coalescing and eventually
+  eviction, never into the simulation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.server import ClusterWorXServer
+from repro.gateway.httpd import (HttpError, HttpRequest, format_response,
+                                 parse_request, stream_header)
+from repro.gateway.metrics import GatewayMetrics
+from repro.gateway.routes import build_router
+from repro.gateway.state import GatewayState
+from repro.gateway.watch import WatchClient, WatchHub, WatchPolicy
+from repro.gateway.wire import BinaryWire, Frame, JsonWire, negotiate
+
+__all__ = ["SimDriver", "GatewayService", "fetch", "read_stream_frames"]
+
+
+class SimDriver(threading.Thread):
+    """Advance the simulation in slices; publish a view after each.
+
+    ``slice_seconds`` is *simulated* time per step; ``pace_seconds`` is
+    a real sleep between steps that hands the GIL to the serving loop
+    (0 free-runs the sim as fast as the hardware allows).
+    """
+
+    def __init__(self, server: ClusterWorXServer, state: GatewayState, *,
+                 slice_seconds: float = 1.0,
+                 pace_seconds: float = 0.001):
+        super().__init__(name="gateway-sim", daemon=True)
+        self.server = server
+        self.state = state
+        self.slice_seconds = slice_seconds
+        self.pace_seconds = pace_seconds
+        self._stop_flag = threading.Event()
+        self.slices = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        kernel = self.server.kernel
+        try:
+            while not self._stop_flag.is_set():
+                with self.state.lock:
+                    kernel.run(until=kernel.now + self.slice_seconds)
+                    self.state.refresh()
+                self.slices += 1
+                if self.pace_seconds:
+                    time.sleep(self.pace_seconds)
+        except BaseException as exc:  # surfaced by stop(); never silent
+            self.error = exc
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_flag.set()
+        self.join(timeout)
+        if self.error is not None:
+            raise RuntimeError("simulation thread died") from self.error
+
+
+class GatewayService:
+    """The asyncio front door over one ClusterWorX server."""
+
+    def __init__(self, server: ClusterWorXServer, *,
+                 cluster=None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 policy: Optional[WatchPolicy] = None,
+                 max_watchers: int = 10000,
+                 idle_timeout: float = 30.0,
+                 heartbeat: float = 10.0):
+        self.server = server
+        self.host = host
+        self.port = port
+        self.idle_timeout = idle_timeout
+        self.heartbeat = heartbeat
+        self.max_watchers = max_watchers
+        self.sim_lock = threading.Lock()
+        resolver = cluster.group_resolver() if cluster is not None \
+            else None
+        self.state = GatewayState(server, lock=self.sim_lock,
+                                  resolver=resolver)
+        self.hub = WatchHub(server, policy=policy)
+        self.metrics = GatewayMetrics()
+        self.json_wire = JsonWire()
+        self.binary_wire = BinaryWire(
+            metric_schema=server.registry.names)
+        self.router = build_router(self.state, self.stats_values)
+        self.driver = SimDriver(server, self.state)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.connections = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "GatewayService":
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            backlog=4096)  # thousands of watchers connect in a burst
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.metrics.start(time.perf_counter())
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.hub.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- /stats assembly ----------------------------------------------------
+    def stats_values(self) -> Dict[str, object]:
+        values = self.metrics.values(time.perf_counter())
+        values.update(self.hub.totals())
+        values["active_watchers"] = self.hub.active_watchers
+        values["publishes"] = self.state.publishes
+        values["publish_reuses"] = self.state.publish_reuses
+        return values
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # service torn down mid-connection; just drop it
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer already gone; nothing left to flush
+        return None
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"),
+                    timeout=self.idle_timeout)
+            except (asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, ConnectionError):
+                return
+            t0 = time.perf_counter()
+            try:
+                request = parse_request(head)
+            except HttpError as exc:
+                writer.write(format_response(
+                    exc.status, "text/plain",
+                    exc.message.encode("utf-8"), keep_alive=False))
+                await writer.drain()
+                return
+            if request.path == "/v1/watch":
+                await self._serve_watch(request, writer)
+                return
+            keep_alive = await self._serve_request(request, writer, t0)
+            if not keep_alive:
+                return
+
+    async def _serve_request(self, request: HttpRequest,
+                             writer: asyncio.StreamWriter,
+                             t0: float) -> bool:
+        wire = negotiate(request.accept, self.binary_wire,
+                         self.json_wire)
+        route_name = request.path
+        try:
+            route, params = self.router.resolve(request.path)
+            route_name = route.template
+            status, frames = route.handler(request, params)
+        except HttpError as exc:
+            status = exc.status
+            frames = [("error", "request", self.state.view.sim_time,
+                       {"status": exc.status, "message": exc.message})]
+        except Exception as exc:  # a handler bug must not kill the loop
+            status = 500
+            frames = [("error", "request", self.state.view.sim_time,
+                       {"status": 500, "message": f"{type(exc).__name__}:"
+                                                  f" {exc}"})]
+        body = wire.encode(frames)
+        keep_alive = request.keep_alive
+        writer.write(format_response(status, wire.content_type, body,
+                                     keep_alive=keep_alive))
+        await writer.drain()
+        now = time.perf_counter()
+        self.metrics.record(route_name, status, now - t0, len(body),
+                            now)
+        return keep_alive
+
+    # -- the watch stream ----------------------------------------------------
+    async def _serve_watch(self, request: HttpRequest,
+                           writer: asyncio.StreamWriter) -> None:
+        wire = negotiate(request.accept, self.binary_wire,
+                         self.json_wire)
+        if self.hub.active_watchers >= self.max_watchers:
+            writer.write(format_response(
+                429, "text/plain", b"watcher limit reached",
+                keep_alive=False))
+            await writer.drain()
+            return
+        loop = asyncio.get_running_loop()
+        wakeup = asyncio.Event()
+
+        def notify() -> None:
+            try:
+                loop.call_soon_threadsafe(wakeup.set)
+            except RuntimeError:
+                pass  # loop already closed; the stream is ending anyway
+
+        hosts = request.param("hosts")
+        client = WatchClient(
+            hosts=self._expand_hosts(hosts) if hosts else None,
+            metrics=[m for m in
+                     (request.param("metrics") or "").split(",") if m]
+            or None,
+            policy=self.hub.policy, notify=notify)
+        self.hub.register(client)
+        try:
+            writer.write(stream_header(wire.stream_content_type))
+            await writer.drain()
+            while True:
+                try:
+                    await asyncio.wait_for(wakeup.wait(),
+                                           timeout=self.heartbeat)
+                except asyncio.TimeoutError:
+                    beat = wire.encode_stream(
+                        ("end", "heartbeat", self.state.view.sim_time,
+                         {}))
+                    writer.write(beat)
+                    await writer.drain()
+                    continue
+                wakeup.clear()
+                chunks: List[bytes] = [
+                    wire.encode_stream(("delta", hostname, t,
+                                        dict(values)))
+                    for hostname, t, values in client.drain()]
+                if client.evicted:
+                    chunks.append(wire.encode_stream(
+                        ("evicted", "slow-consumer",
+                         self.state.view.sim_time,
+                         {"coalesced": client.coalesced,
+                          "dropped": client.dropped})))
+                if chunks:
+                    payload = b"".join(chunks)
+                    writer.write(payload)
+                    await writer.drain()  # the backpressure valve
+                    self.metrics.record_stream_bytes(len(payload))
+                if client.evicted:
+                    break
+        except (ConnectionError, OSError):
+            pass  # client hung up mid-stream: normal stream teardown
+        finally:
+            self.hub.unregister(client)
+
+    def _expand_hosts(self, expression: str) -> List[str]:
+        from repro.remote.nodeset import NodeSet
+        return list(NodeSet(expression, resolver=self.state.resolver))
+
+
+# -- a tiny client (CLI probes, benches, tests) ------------------------------
+
+async def fetch(host: str, port: int, path: str, *,
+                accept: Optional[str] = None,
+                timeout: float = 10.0
+                ) -> Tuple[int, str, bytes]:
+    """One GET: returns (status, content-type, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        headers = f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+        if accept:
+            headers += f"Accept: {accept}\r\n"
+        headers += "Connection: close\r\n\r\n"
+        writer.write(headers.encode("latin-1"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    content_type = ""
+    for line in lines[1:]:
+        if line.lower().startswith("content-type:"):
+            content_type = line.partition(":")[2].strip()
+    return status, content_type, body
+
+
+async def read_stream_frames(reader: asyncio.StreamReader,
+                             wire: "BinaryWire | JsonWire",
+                             count: int, *,
+                             timeout: float = 10.0,
+                             kinds: Tuple[str, ...] = ("delta",)
+                             ) -> List[Frame]:
+    """Read ``count`` matching frames off an open watch stream."""
+    frames: List[Frame] = []
+    buffer = b""
+    deadline = time.perf_counter() + timeout
+    while len(frames) < count:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            raise asyncio.TimeoutError(
+                f"only {len(frames)}/{count} frames before timeout")
+        chunk = await asyncio.wait_for(reader.read(65536),
+                                       timeout=remaining)
+        if not chunk:
+            break
+        buffer += chunk
+        buffer, decoded = _drain_buffer(buffer, wire)
+        frames.extend(f for f in decoded if f[0] in kinds)
+    return frames
+
+
+def _drain_buffer(buffer: bytes, wire: "BinaryWire | JsonWire"
+                  ) -> Tuple[bytes, List[Frame]]:
+    """Split complete frames off a stream buffer; keep the remainder."""
+    frames: List[Frame] = []
+    if isinstance(wire, JsonWire):
+        while b"\n\n" in buffer:
+            event, _, buffer = buffer.partition(b"\n\n")
+            if event.startswith(b"data: "):
+                frames.extend(wire.decode(event[len(b"data: "):]))
+        return buffer, frames
+    import struct as _struct
+    while len(buffer) >= 4:
+        (length,) = _struct.unpack_from("<I", buffer, 0)
+        if len(buffer) < 4 + length:
+            break
+        frames.extend(wire.decode(buffer[:4 + length]))
+        buffer = buffer[4 + length:]
+    return buffer, frames

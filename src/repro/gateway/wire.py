@@ -1,0 +1,186 @@
+"""Gateway wire formats: JSON for humans, schema-packed frames for fleets.
+
+E7 (§5.3.3) already measured the trade: schema-packed binary frames are
+roughly half the size of the text encoding because both ends share an
+ordered field list and the wire carries only a presence bitmap plus
+packed values.  The gateway is where that result finally pays off
+against real traffic — a summary poll from thousands of clients is
+dominated by encode cost and bytes out, not by the O(1) rollup read.
+
+Every response body is a sequence of **frames**.  A frame is
+``(kind, subject, t, values)``:
+
+* ``kind`` — what the frame describes (``summary``, ``host``,
+  ``delta``, ``event``, ``stats``, ...);
+* ``subject`` — the entity (a hostname, a rule name, ``cluster``);
+* ``t`` — the simulation time the values were read at;
+* ``values`` — a flat ``name -> scalar`` mapping.
+
+:class:`JsonWire` renders frames as JSON objects (single object for a
+one-frame response, an array otherwise; SSE ``data:`` lines on a watch
+stream).  :class:`BinaryWire` reuses
+:class:`~repro.monitoring.transmission.BinaryCodec` in schema mode —
+the exact E7 framing — with one shared schema per frame kind, and
+length-prefixes each frame so streams self-delimit.  Codec choice is
+negotiated per request via the ``Accept`` header (:func:`negotiate`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.monitoring.transmission import BinaryCodec
+
+__all__ = ["Frame", "JsonWire", "BinaryWire", "negotiate",
+           "BINARY_CONTENT_TYPE", "JSON_CONTENT_TYPE", "SUMMARY_SCHEMA",
+           "STATS_SCHEMA", "EVENT_SCHEMA"]
+
+#: one response/stream element: (kind, subject, t, values).
+Frame = Tuple[str, str, float, Mapping[str, object]]
+
+JSON_CONTENT_TYPE = "application/json"
+BINARY_CONTENT_TYPE = "application/x-worx-frame"
+
+#: shared field order for cluster-summary frames (both ends compile
+#: this in, like the MIB of §5.3.3 — nothing but the bitmap and packed
+#: values travels).
+SUMMARY_SCHEMA: Tuple[str, ...] = (
+    "nodes_total", "nodes_up", "nodes_down", "cpu_util_mean_pct",
+    "mem_used_bytes", "mem_total_bytes", "cpu_temp_max_c", "generation",
+    "events_active", "sim_time")
+
+#: shared field order for gateway /stats frames.
+STATS_SCHEMA: Tuple[str, ...] = (
+    "requests", "qps", "latency_p50_ms", "latency_p99_ms",
+    "bytes_out", "active_watchers", "watch_frames", "watch_coalesced",
+    "watch_dropped", "watch_evictions", "publishes", "publish_reuses",
+    "errors")
+
+#: shared field order for active-event / event-log frames.
+EVENT_SCHEMA: Tuple[str, ...] = (
+    "rule", "node", "action", "severity", "value", "action_ok", "time")
+
+#: frame-kind byte on the binary wire (order is the wire contract).
+_KIND_CODES: Dict[str, int] = {
+    "summary": 1, "host": 2, "delta": 3, "event": 4, "stats": 5,
+    "hosts": 6, "error": 7, "end": 8, "evicted": 9, "history": 10}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+class JsonWire:
+    """Frames as JSON: self-describing, greppable, and ~2x the bytes."""
+
+    name = "json"
+    content_type = JSON_CONTENT_TYPE
+    stream_content_type = "text/event-stream"
+
+    def _obj(self, frame: Frame) -> Dict[str, object]:
+        kind, subject, t, values = frame
+        return {"kind": kind, "subject": subject, "t": round(t, 3),
+                "values": dict(values)}
+
+    def encode(self, frames: List[Frame]) -> bytes:
+        """One response body: a single object, or an array of them."""
+        if len(frames) == 1:
+            payload: object = self._obj(frames[0])
+        else:
+            payload = [self._obj(frame) for frame in frames]
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def encode_stream(self, frame: Frame) -> bytes:
+        """One server-sent event carrying one frame."""
+        return b"data: " + json.dumps(
+            self._obj(frame), sort_keys=True,
+            separators=(",", ":")).encode("utf-8") + b"\n\n"
+
+    def decode(self, body: bytes) -> List[Frame]:
+        payload = json.loads(body.decode("utf-8"))
+        objs = payload if isinstance(payload, list) else [payload]
+        return [(o["kind"], o["subject"], float(o["t"]), o["values"])
+                for o in objs]
+
+
+class BinaryWire:
+    """Frames as length-prefixed schema-packed E7 binary.
+
+    Layout per frame::
+
+        <I total_len> <B kind> <BinaryCodec schema frame>
+
+    where the codec frame carries (subject, t, bitmap, packed values)
+    exactly as :class:`~repro.monitoring.transmission.BinaryCodec` in
+    schema mode emits it; fields outside the kind's schema ride along
+    self-described, so plugin metrics still fit.  The 4-byte length
+    prefix makes both a pipelined response body and a live watch stream
+    self-delimiting.
+    """
+
+    name = "binary"
+    content_type = BINARY_CONTENT_TYPE
+    stream_content_type = BINARY_CONTENT_TYPE
+
+    def __init__(self, metric_schema: Optional[Iterable[str]] = None):
+        metric_codec = BinaryCodec(schema=tuple(metric_schema)
+                                   if metric_schema else None)
+        event_codec = BinaryCodec(schema=EVENT_SCHEMA)
+        self._codecs: Dict[str, BinaryCodec] = {
+            "summary": BinaryCodec(schema=SUMMARY_SCHEMA),
+            "stats": BinaryCodec(schema=STATS_SCHEMA),
+            "host": metric_codec,
+            "delta": metric_codec,
+            "event": event_codec,
+        }
+        #: schemaless fallback for ad-hoc kinds (hosts, error, end).
+        self._plain = BinaryCodec()
+
+    def _codec(self, kind: str) -> BinaryCodec:
+        return self._codecs.get(kind, self._plain)
+
+    def encode_frame(self, frame: Frame) -> bytes:
+        kind, subject, t, values = frame
+        body = self._codec(kind).encode(subject, t, dict(values))
+        code = _KIND_CODES.get(kind)
+        if code is None:
+            raise ValueError(f"unknown frame kind {kind!r}")
+        return struct.pack("<IB", len(body) + 1, code) + body
+
+    def encode(self, frames: List[Frame]) -> bytes:
+        return b"".join(self.encode_frame(frame) for frame in frames)
+
+    #: a watch stream uses the identical framing — that is the point.
+    encode_stream = encode_frame
+
+    def decode(self, body: bytes) -> List[Frame]:
+        frames: List[Frame] = []
+        pos = 0
+        while pos < len(body):
+            (length,) = struct.unpack_from("<I", body, pos)
+            pos += 4
+            code = body[pos]
+            payload = body[pos + 1: pos + length]
+            pos += length
+            kind = _CODE_KINDS.get(code)
+            if kind is None:
+                raise ValueError(f"unknown frame code {code}")
+            subject, t, values = self._codec(kind).decode(payload)
+            frames.append((kind, subject, t, values))
+        return frames
+
+
+def negotiate(accept: Optional[str],
+              binary_wire: BinaryWire,
+              json_wire: JsonWire) -> "BinaryWire | JsonWire":
+    """Pick the response codec from an ``Accept`` header.
+
+    A client that lists the frame media type gets packed frames; every
+    other value (absent header, ``*/*``, ``application/json``) gets
+    JSON — text stays the safe, self-describing default, exactly the
+    paper's §5.3.3 position, with binary as the opt-in for fleets that
+    poll at scale.
+    """
+    if accept and BINARY_CONTENT_TYPE in accept:
+        return binary_wire
+    return json_wire

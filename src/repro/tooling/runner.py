@@ -66,15 +66,17 @@ class LintResult:
 def default_config(root: Optional[Path] = None, *,
                    baseline: Optional[Path] = None,
                    rules: Optional[Set[str]] = None) -> LintConfig:
-    """The repo's own policy: the ``repro`` layer map, ``cli.py`` as the
-    sole wall-clock shell, and the committed baseline beside ``src/``."""
+    """The repo's own policy: the ``repro`` layer map, ``cli.py`` and
+    the gateway's serving shell as the only wall-clock modules, and the
+    committed baseline beside ``src/``."""
     if root is None:
         root = Path(__file__).resolve().parents[2]
     if baseline is None:
         candidate = root.parent / "worxlint.baseline"
         baseline = candidate if candidate.is_file() else None
     return LintConfig(root=root, package="repro", layers=dict(LAYER_MAP),
-                      determinism_shell=frozenset({"repro/cli.py"}),
+                      determinism_shell=frozenset(
+                          {"repro/cli.py", "repro/gateway/shell.py"}),
                       handler_shells=frozenset(),
                       baseline=baseline,
                       rules=frozenset(rules) if rules else None)

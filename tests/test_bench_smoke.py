@@ -1,13 +1,15 @@
-"""Tier-1 canary for the E16 hot path (`make bench-smoke`).
+"""Tier-1 canaries for the E16 hot path and the E17 gateway
+(`make bench-smoke`).
 
-Runs the tiny scaling cell — 200 self-healing nodes for 60 simulated
-seconds — through the real benchmark code and fails if it blows a
-wall-clock budget set at ~5x the measured cost on the machine class
-this repo targets.  The point is not a precise number: it is that an
-accidental O(N^2) (or a per-sample process spawn creeping back into
-the agent/ingest path) shows up as a 10-100x blowup, far beyond any
-plausible machine variance, while the budget stays comfortably above
-CI noise.
+Runs the tiny cells — 200 self-healing nodes for 60 simulated seconds
+(E16), and a 2-second real-socket serve with 20 watch streams (E17) —
+through the real benchmark code and fails if a cell blows a wall-clock
+budget set at ~5x the measured cost on the machine class this repo
+targets.  The point is not a precise number: it is that an accidental
+O(N^2) (or a per-sample process spawn creeping back into the
+agent/ingest path, or a per-request state copy creeping into the
+gateway) shows up as a 10-100x blowup, far beyond any plausible
+machine variance, while the budget stays comfortably above CI noise.
 """
 
 import sys
@@ -18,6 +20,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent
                        / "benchmarks"))
 
 from bench_e16_scaling import run_cell  # noqa: E402
+from bench_e17_gateway import run_cell as run_gateway_cell  # noqa: E402
 
 #: ~5x the observed tiny-cell wall clock (sub-second at time of writing).
 TINY_BUDGET_S = 10.0
@@ -33,3 +36,23 @@ def test_bench_smoke_within_budget():
     assert wall < TINY_BUDGET_S, (
         f"tiny E16 cell took {wall:.1f}s (budget {TINY_BUDGET_S}s) — "
         f"hot-path regression?")
+
+
+#: tiny E17 cell: ~2 s of serving plus cluster warm-up, observed ~6 s.
+GATEWAY_BUDGET_S = 30.0
+
+
+def test_gateway_bench_smoke_within_budget():
+    start = time.perf_counter()
+    row = run_gateway_cell(200, 2.0, watchers=20, pollers=8)
+    wall = time.perf_counter() - start
+    # the cell actually served: pollers got answers, watchers streamed,
+    # and every request shared published views instead of copying state
+    assert row["requests"] > 0
+    assert row["watchers"] == 20
+    assert row["watch_frames"] > 0
+    assert row["full_copies"] == 0
+    assert row["binary_ratio"] <= 0.6
+    assert wall < GATEWAY_BUDGET_S, (
+        f"tiny E17 cell took {wall:.1f}s (budget {GATEWAY_BUDGET_S}s) — "
+        f"gateway serving regression?")

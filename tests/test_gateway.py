@@ -1,0 +1,391 @@
+"""Gateway tests: wire codecs, HTTP plumbing, watch backpressure,
+published-view reuse, and the full asyncio service over real sockets."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import ClusterWorX
+from repro.core.statestore import Update
+from repro.gateway import (BINARY_CONTENT_TYPE, BinaryWire, GatewayService,
+                           GatewayState, HttpError, JsonWire, Router,
+                           WatchClient, WatchHub, WatchPolicy, fetch,
+                           negotiate, parse_request, read_stream_frames)
+from repro.gateway.metrics import GatewayMetrics
+
+
+def up(host, t, **values):
+    return Update(hostname=host, time=t, values=values)
+
+
+# -- wire ---------------------------------------------------------------------
+
+class TestWire:
+    def frames(self):
+        return [("summary", "cluster", 12.5,
+                 {"nodes_total": 16, "nodes_up": 15, "nodes_down": 1,
+                  "cpu_util_mean_pct": 42.25, "mem_used_bytes": 1 << 33,
+                  "mem_total_bytes": 1 << 34, "cpu_temp_max_c": 61.5,
+                  "generation": 941, "events_active": 2,
+                  "sim_time": 12.5})]
+
+    def test_json_roundtrip(self):
+        wire = JsonWire()
+        frames = self.frames()
+        decoded = wire.decode(wire.encode(frames))
+        assert decoded[0][0] == "summary"
+        assert decoded[0][3]["nodes_up"] == 15
+
+    def test_binary_roundtrip(self):
+        wire = BinaryWire()
+        frames = self.frames()
+        decoded = wire.decode(wire.encode(frames))
+        kind, subject, t, values = decoded[0]
+        assert (kind, subject, t) == ("summary", "cluster", 12.5)
+        assert values == dict(frames[0][3])
+
+    def test_binary_summary_under_60pct_of_json(self):
+        frames = self.frames()
+        json_len = len(JsonWire().encode(frames))
+        bin_len = len(BinaryWire().encode(frames))
+        assert bin_len <= 0.6 * json_len, (bin_len, json_len)
+
+    def test_delta_roundtrip_with_metric_schema(self):
+        schema = ("cpu_util_pct", "cpu_temp_c", "net_tx_bytes")
+        wire = BinaryWire(metric_schema=schema)
+        frames = [("delta", "node007", 99.0,
+                   {"cpu_util_pct": 55.5, "plugin_metric": 7})]
+        decoded = wire.decode(wire.encode(frames))
+        assert decoded[0][1] == "node007"
+        # off-schema fields ride along self-described
+        assert decoded[0][3]["plugin_metric"] == 7
+
+    def test_multi_frame_stream_self_delimits(self):
+        wire = BinaryWire()
+        payload = b"".join(
+            wire.encode_stream(("delta", f"n{i}", float(i), {"x": i}))
+            for i in range(5))
+        decoded = wire.decode(payload)
+        assert [f[1] for f in decoded] == [f"n{i}" for i in range(5)]
+
+    def test_sse_event_format(self):
+        event = JsonWire().encode_stream(("delta", "n1", 3.0, {"x": 1}))
+        assert event.startswith(b"data: ") and event.endswith(b"\n\n")
+        json.loads(event[len(b"data: "):])
+
+    def test_negotiate(self):
+        binary, text = BinaryWire(), JsonWire()
+        assert negotiate(BINARY_CONTENT_TYPE, binary, text) is binary
+        assert negotiate(f"{BINARY_CONTENT_TYPE}, */*", binary, text) \
+            is binary
+        assert negotiate("application/json", binary, text) is text
+        assert negotiate("*/*", binary, text) is text
+        assert negotiate(None, binary, text) is text
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryWire().encode([("nope", "x", 0.0, {})])
+
+
+# -- httpd --------------------------------------------------------------------
+
+class TestHttpd:
+    def test_parse_request(self):
+        raw = (b"GET /v1/query?nodes=n%5B1-4%5D&metrics=a,b HTTP/1.1\r\n"
+               b"Host: x\r\nAccept: application/json\r\n\r\n")
+        req = parse_request(raw)
+        assert req.path == "/v1/query"
+        assert req.param("nodes") == "n[1-4]"
+        assert req.accept == "application/json"
+        assert req.keep_alive
+
+    def test_connection_close_honored(self):
+        req = parse_request(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_non_get_rejected(self):
+        with pytest.raises(HttpError) as info:
+            parse_request(b"POST /v1/summary HTTP/1.1\r\n\r\n")
+        assert info.value.status == 405
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as info:
+            parse_request(b"garbage\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_router_captures_and_404(self):
+        router = Router()
+        router.add("/v1/hosts/{hostname}", lambda req, p: p)
+        router.add("/v1/history/{hostname}/{metric}", lambda req, p: p)
+        route, params = router.resolve("/v1/hosts/node001")
+        assert params == {"hostname": "node001"}
+        route, params = router.resolve("/v1/history/n1/cpu_temp_c")
+        assert params == {"hostname": "n1", "metric": "cpu_temp_c"}
+        with pytest.raises(HttpError):
+            router.resolve("/v1/nope")
+
+
+# -- watch backpressure -------------------------------------------------------
+
+class TestWatchClient:
+    def test_fifo_then_coalesce(self):
+        client = WatchClient(policy=WatchPolicy(queue_limit=3,
+                                                evict_backlog=10))
+        for i in range(3):
+            assert client.push(up("a", float(i), x=i)) == (i == 0)
+        # overflow: merges per host instead of growing the queue
+        client.push(up("a", 3.0, x=3))
+        client.push(up("a", 4.0, y=9))
+        out = client.drain()
+        assert len(out) == 4  # 3 verbatim + 1 merged for host a
+        merged = out[-1]
+        assert merged[0] == "a" and merged[1] == 4.0
+        assert merged[2]["x"] == 3 and merged[2]["y"] == 9
+        assert client.coalesced == 2 and client.dropped == 1
+
+    def test_eviction_past_backlog(self):
+        client = WatchClient(policy=WatchPolicy(queue_limit=1,
+                                                evict_backlog=2))
+        client.push(up("a", 0.0, x=0))
+        client.push(up("b", 1.0, x=1))   # coalesced host 1
+        client.push(up("c", 2.0, x=2))   # coalesced host 2
+        assert not client.evicted
+        client.push(up("d", 3.0, x=3))   # third distinct host: evict
+        assert client.evicted
+        assert client.drain() == []
+
+    def test_filters(self):
+        client = WatchClient(hosts=["a"], metrics=["x"])
+        assert client.wants(up("a", 0.0, x=1))
+        assert not client.wants(up("b", 0.0, x=1))
+        assert not client.wants(up("a", 0.0, y=1))
+
+    def test_drain_preserves_order_and_wakeup_edges(self):
+        client = WatchClient()
+        assert client.push(up("a", 0.0, x=0)) is True
+        assert client.push(up("b", 1.0, x=1)) is False
+        assert [h for h, _, _ in client.drain()] == ["a", "b"]
+        assert client.push(up("c", 2.0, x=2)) is True  # edge again
+
+
+class TestWatchHub:
+    def test_host_indexed_dispatch(self):
+        cwx = ClusterWorX(n_nodes=4, seed=1, monitor_interval=5.0)
+        hub = WatchHub(cwx.server)
+        names = cwx.cluster.hostnames
+        narrow = hub.register(WatchClient(hosts=[names[0]]))
+        wide = hub.register(WatchClient())
+        cwx.start()
+        cwx.run(30)
+        narrow_hosts = {h for h, _, _ in narrow.drain()}
+        wide_hosts = {h for h, _, _ in wide.drain()}
+        assert narrow_hosts == {names[0]}
+        assert len(wide_hosts) == 4
+        assert hub.active_watchers == 2
+        hub.unregister(narrow)
+        assert hub.active_watchers == 1
+        # totals survive unregistration (cumulative for /stats)
+        assert hub.totals()["watch_frames"] > 0
+        hub.close()
+        assert hub.active_watchers == 0
+
+    def test_eviction_counted_once_and_stream_isolated(self):
+        cwx = ClusterWorX(n_nodes=4, seed=2, monitor_interval=5.0)
+        hub = WatchHub(cwx.server,
+                       policy=WatchPolicy(queue_limit=1, evict_backlog=1))
+        slow = hub.register(WatchClient(policy=hub.policy))
+        healthy = hub.register(WatchClient())
+        cwx.start()
+        cwx.run(60)
+        assert slow.evicted
+        assert hub.evictions == 1
+        assert len(healthy.drain()) > 0, \
+            "healthy watcher starved by peer eviction"
+        hub.close()
+
+
+# -- published-view state -----------------------------------------------------
+
+class TestGatewayState:
+    def test_refresh_reuses_view_when_nothing_changed(self):
+        cwx = ClusterWorX(n_nodes=4, seed=3, monitor_interval=5.0)
+        cwx.start()
+        cwx.run(20)
+        state = GatewayState(cwx.server)
+        view1 = state.refresh()
+        view2 = state.refresh()
+        assert view2 is view1
+        assert state.publish_reuses >= 1
+        cwx.run(10)
+        view3 = state.refresh()
+        assert view3 is not view1
+        assert view3.generation > view1.generation
+        assert cwx.server.store.full_copies == 0
+
+    def test_hot_reads_come_from_the_frozen_view(self):
+        cwx = ClusterWorX(n_nodes=4, seed=3, monitor_interval=5.0)
+        cwx.start()
+        cwx.run(20)
+        state = GatewayState(cwx.server)
+        state.refresh()
+        frozen = state.view
+        t, summary = state.summary()
+        cwx.run(30)  # sim moves on; the view must not
+        assert state.view is frozen
+        t2, summary2 = state.summary()
+        assert t2 == t and summary2 is summary
+
+    def test_query_filters_nodes_and_metrics(self):
+        cwx = ClusterWorX(n_nodes=6, seed=4, monitor_interval=5.0)
+        cwx.start()
+        cwx.run(30)
+        state = GatewayState(cwx.server,
+                             resolver=cwx.cluster.group_resolver())
+        state.refresh()
+        names = cwx.cluster.hostnames
+        t, rows = state.query(f"{names[0]},{names[1]}",
+                              ["cpu_util_pct"])
+        assert [h for h, _ in rows] == sorted([names[0], names[1]])
+        for _, values in rows:
+            assert set(values) <= {"cpu_util_pct"}
+
+    def test_folded_hosts_cached_per_generation(self):
+        cwx = ClusterWorX(n_nodes=5, seed=4, monitor_interval=5.0)
+        cwx.start()
+        cwx.run(20)
+        state = GatewayState(cwx.server)
+        state.refresh()
+        folded = state.folded_hosts()
+        assert "[" in folded  # actually folded to range algebra
+        assert state.folded_hosts() is folded  # cached
+
+
+# -- request metrics ----------------------------------------------------------
+
+class TestGatewayMetrics:
+    def test_counters_and_quantiles(self):
+        m = GatewayMetrics()
+        m.start(100.0)
+        for i in range(100):
+            m.record("/v1/summary", 200, latency_s=(i + 1) / 1000.0,
+                     bytes_out=10, now=100.0 + i)
+        m.record("/v1/hosts/{hostname}", 404, latency_s=0.5,
+                 bytes_out=5, now=210.0)
+        values = m.values(now=201.0)
+        assert values["requests"] == 101
+        assert values["errors"] == 1
+        assert values["bytes_out"] == 1005
+        assert values["qps"] == pytest.approx(1.0, rel=0.01)
+        assert values["latency_p50_ms"] == pytest.approx(50.0, rel=0.1)
+        assert values["latency_p99_ms"] >= values["latency_p50_ms"]
+
+
+# -- the full service over real sockets ---------------------------------------
+
+async def _start_service(n_nodes=8, seed=11):
+    cwx = ClusterWorX(n_nodes=n_nodes, seed=seed, monitor_interval=5.0)
+    cwx.start()
+    cwx.run(30.0)
+    service = GatewayService(cwx.server, cluster=cwx.cluster)
+    await service.start()
+    service.driver.start()
+    return cwx, service
+
+
+async def _stop_service(service):
+    service.driver.stop()
+    await service.stop()
+
+
+class TestServiceEndToEnd:
+    def test_rest_surface(self):
+        async def scenario():
+            cwx, service = await _start_service()
+            host = cwx.cluster.hostnames[0]
+            status, ctype, body = await fetch(
+                "127.0.0.1", service.port, "/v1/summary")
+            assert status == 200 and ctype == "application/json"
+            frame = json.loads(body)
+            assert frame["values"]["nodes_total"] == 8
+
+            status, _, body = await fetch(
+                "127.0.0.1", service.port, f"/v1/hosts/{host}")
+            assert status == 200
+            assert json.loads(body)["subject"] == host
+
+            status, _, _ = await fetch(
+                "127.0.0.1", service.port, "/v1/hosts/ghost")
+            assert status == 404
+
+            status, _, body = await fetch(
+                "127.0.0.1", service.port,
+                f"/v1/history/{host}/cpu_temp_c?buckets=4")
+            assert status == 200
+
+            status, _, body = await fetch(
+                "127.0.0.1", service.port, "/stats")
+            stats = json.loads(body)["values"]
+            assert stats["requests"] >= 4
+            assert stats["publishes"] >= 1
+            await _stop_service(service)
+            assert cwx.server.store.full_copies == 0
+        asyncio.run(scenario())
+
+    def test_binary_negotiation_and_size(self):
+        async def scenario():
+            cwx, service = await _start_service()
+            _, jtype, jbody = await fetch(
+                "127.0.0.1", service.port, "/v1/summary")
+            _, btype, bbody = await fetch(
+                "127.0.0.1", service.port, "/v1/summary",
+                accept=BINARY_CONTENT_TYPE)
+            assert jtype == "application/json"
+            assert btype == BINARY_CONTENT_TYPE
+            frames = service.binary_wire.decode(bbody)
+            assert frames[0][3]["nodes_total"] == 8
+            assert len(bbody) <= 0.6 * len(jbody), (len(bbody),
+                                                    len(jbody))
+            await _stop_service(service)
+        asyncio.run(scenario())
+
+    def test_watch_stream_delivers_filtered_deltas(self):
+        async def scenario():
+            cwx, service = await _start_service()
+            target = cwx.cluster.hostnames[0]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            writer.write(f"GET /v1/watch?hosts={target} HTTP/1.1\r\n"
+                         f"Host: x\r\nAccept: {BINARY_CONTENT_TYPE}\r\n"
+                         "\r\n".encode("latin-1"))
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"200 OK" in head
+            frames = await read_stream_frames(
+                reader, service.binary_wire, 3, timeout=30.0)
+            assert len(frames) >= 3
+            assert {f[1] for f in frames} == {target}
+            writer.close()
+            await _stop_service(service)
+        asyncio.run(scenario())
+
+    def test_keep_alive_pipelines_requests(self):
+        async def scenario():
+            cwx, service = await _start_service()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            for _ in range(3):
+                writer.write(b"GET /v1/summary HTTP/1.1\r\n"
+                             b"Host: x\r\n\r\n")
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                assert b"200 OK" in head
+                length = int([line for line in head.split(b"\r\n")
+                              if line.lower().startswith(
+                                  b"content-length")][0].split(b":")[1])
+                body = await reader.readexactly(length)
+                assert json.loads(body)["kind"] == "summary"
+            writer.close()
+            await _stop_service(service)
+            assert service.connections == 1
+        asyncio.run(scenario())

@@ -441,3 +441,67 @@ class TestLiteSummary:
         assert summary["generation"] > 0
         assert summary["events_active"] == 0
         assert lite.store.full_copies == 0
+
+
+class TestSlowConsumerDetach:
+    """A subscriber whose callback keeps raising gets cut off (with a
+    warning) instead of silently degrading every subsequent publish."""
+
+    def test_repeated_failures_detach_subscriber(self, caplog):
+        store = StateStore()
+        calls = []
+
+        def bad(update):
+            calls.append(update)
+            raise RuntimeError("consumer wedged")
+
+        sub = store.subscribe(bad, name="wedged")
+        limit = store.subscriber_error_limit
+        with caplog.at_level("WARNING", logger="repro.core.statestore"):
+            for i in range(limit + 5):
+                store.apply(up("a", float(i), cpu_util_pct=float(i)))
+        # the callback ran exactly limit times, then was detached
+        assert len(calls) == limit
+        assert not sub.active
+        assert sub not in store._subs
+        assert store.detached == [("wedged", "consumer wedged")]
+        assert any("detaching subscriber 'wedged'" in r.message
+                   for r in caplog.records)
+        # every failure is still on the error ledger
+        assert len(store.errors) == limit
+
+    def test_success_resets_the_error_streak(self):
+        store = StateStore()
+        fail_on = {1, 3, 5, 7, 9, 11}  # never consecutive
+        seen = []
+
+        def flaky(update):
+            seen.append(update.time)
+            if int(update.time) in fail_on:
+                raise ValueError("transient")
+
+        sub = store.subscribe(flaky, name="flaky")
+        for i in range(14):
+            store.apply(up("a", float(i), cpu_util_pct=1.0 + i))
+        # intermittent failures never reach the consecutive limit
+        assert sub.active
+        assert sub in store._subs
+        assert store.detached == []
+        assert len(seen) == 14
+
+    def test_healthy_subscribers_unaffected_by_detach(self):
+        store = StateStore()
+        healthy = []
+
+        def good(update):
+            healthy.append(update.hostname)
+
+        def bad(update):
+            raise RuntimeError("wedged")
+
+        store.subscribe(bad, name="wedged")
+        store.subscribe(good, name="healthy")
+        for i in range(store.subscriber_error_limit + 3):
+            store.apply(up("a", float(i), cpu_util_pct=float(i)))
+        assert len(healthy) == store.subscriber_error_limit + 3
+        assert [name for name, _ in store.detached] == ["wedged"]
