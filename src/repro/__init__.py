@@ -25,7 +25,10 @@ Entry point for most users::
 """
 
 from repro.core.api import ClusterWorX
+# Importing the federation package registers its "federation" builder
+# with the facade's topology registry (core never imports upward).
+from repro.federation import FederationServer
 
 __version__ = "1.0.0"
 
-__all__ = ["ClusterWorX", "__version__"]
+__all__ = ["ClusterWorX", "FederationServer", "__version__"]

@@ -358,8 +358,10 @@ def _cmd_serve(args) -> int:
     from repro.gateway import GatewayService, WatchPolicy
 
     async def run() -> int:
+        topo = {} if args.shards <= 1 else \
+            {"topology": "federation", "shards": args.shards}
         cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
-                          monitor_interval=args.interval)
+                          monitor_interval=args.interval, **topo)
         cwx.start()
         cwx.run(60.0)  # warm the store so first requests see real data
         service = GatewayService(
@@ -368,9 +370,12 @@ def _cmd_serve(args) -> int:
             policy=WatchPolicy(queue_limit=args.queue_limit))
         await service.start()
         service.driver.start()
-        print(f"gateway: {args.nodes} simulated nodes on "
+        plane = "flat control plane" if args.shards <= 1 else \
+            f"{args.shards} control-plane shards"
+        print(f"gateway: {args.nodes} simulated nodes, {plane}, on "
               f"{service.url}  (endpoints: /v1/summary /v1/hosts "
-              f"/v1/query /v1/events /v1/history /v1/watch /stats)")
+              f"/v1/query /v1/events /v1/history /v1/watch "
+              f"/v1/shards /stats)")
         try:
             if args.seconds:
                 await asyncio.sleep(args.seconds)
@@ -518,6 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-limit", type=int, default=128,
                    help="verbatim deltas buffered per watch client "
                         "before coalescing")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the control plane into N federated "
+                        "shards (1 = classic flat server)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("exec",

@@ -25,6 +25,7 @@ __all__ = [
     "chart",
     "connect",
     "node_comparison",
+    "register_topology",
     "sparkline",
 ]
 
@@ -45,11 +46,12 @@ _LOCATIONS = {
     "chart": "repro.core.graphing",
     "connect": "repro.core.client",
     "node_comparison": "repro.core.graphing",
+    "register_topology": "repro.core.api",
     "sparkline": "repro.core.graphing",
 }
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
-    from repro.core.api import ClusterWorX
+    from repro.core.api import ClusterWorX, register_topology
     from repro.core.auth import AuthError, AuthManager, Role
     from repro.core.client import ClientSession, connect
     from repro.core.cluster import Cluster

@@ -17,7 +17,7 @@ image cloning, and fault injection for drills.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.auth import Role
 from repro.core.client import ClientSession, connect
@@ -32,7 +32,20 @@ from repro.monitoring.plugins import load_plugin_dir
 from repro.monitoring.scheduler import AgentScheduler
 from repro.sim import RandomStreams, SimKernel
 
-__all__ = ["ClusterWorX"]
+__all__ = ["ClusterWorX", "register_topology"]
+
+#: topology name -> builder(kernel, cluster, *, registry, notifier,
+#: shards, partition, **server_kwargs) -> server-like object.  Core
+#: never imports the packages providing alternative topologies (the
+#: layer DAG points down); they register here on import — the
+#: top-level :mod:`repro` package pulls :mod:`repro.federation` in, so
+#: ``ClusterWorX(topology="federation")`` always finds its builder.
+_TOPOLOGY_BUILDERS: Dict[str, Callable] = {}
+
+
+def register_topology(name: str, builder: Callable) -> None:
+    """Register a control-plane topology builder under ``name``."""
+    _TOPOLOGY_BUILDERS[name] = builder
 
 
 class ClusterWorX:
@@ -47,7 +60,10 @@ class ClusterWorX:
                  plugin_dir: Optional[str] = None,
                  self_healing: bool = False,
                  hot_path: str = "fast",
-                 agent_stagger: int = 1):
+                 agent_stagger: int = 1,
+                 topology: str = "flat",
+                 shards: int = 1,
+                 partition: Optional[Dict[str, str]] = None):
         # ``hot_path="legacy"`` reconstructs the pre-overhaul machinery
         # (heap-only kernel, one process per agent, unindexed event
         # engine, per-update sweep writes) — both paths produce
@@ -55,9 +71,17 @@ class ClusterWorX:
         # bench_e16 run them side by side.  ``agent_stagger=B`` spreads
         # agent cohorts over B phase offsets per interval; that
         # intentionally changes sample times, so it defaults to 1.
+        # ``topology="federation"`` swaps the single server for N
+        # partition shards under repro.federation's coordinator; the
+        # facade surface is identical either way, and flat vs 1-shard
+        # federation is golden-trace byte-identical.
         if hot_path not in ("fast", "legacy"):
             raise ValueError(f"unknown hot_path {hot_path!r}")
+        if topology == "flat" and (shards != 1 or partition is not None):
+            raise ValueError(
+                "shards/partition require topology='federation'")
         self.hot_path = hot_path
+        self.topology = topology
         fast = hot_path == "fast"
         self.kernel = SimKernel(timer_wheel=fast)
         self.streams = RandomStreams(seed)
@@ -75,12 +99,27 @@ class ClusterWorX:
         # Staleness thresholds scale with the agent cadence: a couple of
         # missed reports is suspicious, five is evidence (hard state
         # changes are still caught at sweep cadence regardless).
-        self.server = ClusterWorXServer(self.kernel, self.cluster,
-                                        registry=self.registry,
-                                        notifier=self.notifier,
-                                        self_healing=self_healing,
-                                        suspect_after=2.5 * monitor_interval,
-                                        down_after=5.0 * monitor_interval)
+        if topology == "flat":
+            self.server = ClusterWorXServer(
+                self.kernel, self.cluster,
+                registry=self.registry,
+                notifier=self.notifier,
+                self_healing=self_healing,
+                suspect_after=2.5 * monitor_interval,
+                down_after=5.0 * monitor_interval)
+        else:
+            builder = _TOPOLOGY_BUILDERS.get(topology)
+            if builder is None:
+                raise ValueError(
+                    f"unknown topology {topology!r} (registered: "
+                    f"{sorted(_TOPOLOGY_BUILDERS) + ['flat']})")
+            self.server = builder(
+                self.kernel, self.cluster,
+                registry=self.registry, notifier=self.notifier,
+                shards=shards, partition=partition,
+                self_healing=self_healing,
+                suspect_after=2.5 * monitor_interval,
+                down_after=5.0 * monitor_interval)
         if not fast:
             self.server.engine.indexed = False
             self.server.sweep_batching = False

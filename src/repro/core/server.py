@@ -42,7 +42,16 @@ __all__ = ["ClusterWorXServer"]
 
 
 class ClusterWorXServer:
-    """Tier 2: state store, history, events, commands."""
+    """Tier 2: state store, history, events, commands.
+
+    A server manages a set of nodes *exclusively*: by default the whole
+    cluster (the classic flat topology), or — under
+    :mod:`repro.federation` — one partition of it, passed as ``nodes``.
+    Every loop and default target (the connectivity sweep, staleness
+    queries, whole-cluster clones) ranges over the managed set, never
+    the raw cluster, so shards sharing one :class:`Cluster` never
+    double-observe a node.
+    """
 
     def __init__(self, kernel: SimKernel, cluster: Cluster, *,
                  registry: Optional[MonitorRegistry] = None,
@@ -53,7 +62,9 @@ class ClusterWorXServer:
                  suspect_after: float = 30.0,
                  down_after: float = 60.0,
                  recovery_image: str = "compute-harddisk",
-                 probe_timeout: float = 15.0):
+                 probe_timeout: float = 15.0,
+                 nodes: Optional[List[SimulatedNode]] = None,
+                 images: Optional[ImageManager] = None):
         self.kernel = kernel
         self.cluster = cluster
         self.registry = registry if registry is not None \
@@ -73,7 +84,9 @@ class ClusterWorXServer:
                                   notifier=self.notifier)
         self.auth = AuthManager()
         self.auth.add_user("admin", "admin", Role.ADMIN)
-        self.images = ImageManager()
+        #: image catalog; federation passes one shared manager so an
+        #: image registered once is clonable from every shard.
+        self.images = images if images is not None else ImageManager()
         self.cloner = MulticastCloner(
             kernel, cluster.fabric, cluster.management,
             rng=cluster.streams("clone"))
@@ -123,33 +136,61 @@ class ClusterWorXServer:
         self._console_archive: Dict[str, List[tuple[float, str]]] = {}
         self._console_hosts: List[str] = []
         self.console_archive_limit = 2000
-        for node in cluster.nodes:
+        #: the nodes this server manages, in tracking order (sweep order
+        #: must be deterministic for golden-trace parity).
+        self._managed: List[SimulatedNode] = []
+        #: hostname -> (console, sink) so forget_node can detach the
+        #: archive subscription instead of leaking it on the ICE Box.
+        self._console_subs: Dict[str, tuple] = {}
+        for node in (cluster.nodes if nodes is None else nodes):
             self.track_node(node)
 
     # -- node membership ---------------------------------------------------
     def track_node(self, node: SimulatedNode) -> None:
         """Start managing a node: registered in the store's rollup and
-        its serial console archived.  Called for every node at
-        construction and by the facade on hot add."""
+        its serial console archived.  Called for every managed node at
+        construction, by the facade on hot add, and by the federation
+        layer when rebalancing hands this server a node."""
+        if self.store.is_tracked(node.hostname):
+            return
         self.store.track(node.hostname)
+        self._managed.append(node)
         located = self.cluster.locate(node)
         if located is not None:
             box, port = located
-            box.console(port).subscribe(
-                self._make_console_sink(node.hostname))
+            console = box.console(port)
+            sink = self._make_console_sink(node.hostname)
+            console.subscribe(sink)
+            self._console_subs[node.hostname] = (console, sink)
 
     def forget_node(self, hostname: str) -> None:
         """Drop every server-side trace of a removed node: current
         state and rollup contributions, freshness, history series,
-        console archive, and per-node event-engine state.  Without this
-        a hot-removed node leaks into summaries and queries forever."""
+        console archive (and its ICE Box subscription), and per-node
+        event-engine state.  Without this a hot-removed node leaks
+        into summaries and queries forever."""
         self.recovery.forget(hostname)   # abort any live playbook first
         self.health.forget(hostname)
         self.store.forget(hostname)
         self.history.forget(hostname)
         if self._console_archive.pop(hostname, None) is not None:
             self._console_hosts.remove(hostname)
+        sub = self._console_subs.pop(hostname, None)
+        if sub is not None:
+            console, sink = sub
+            console.unsubscribe(sink)
+        self._managed = [n for n in self._managed
+                         if n.hostname != hostname]
         self.engine.forget_node(hostname)
+
+    @property
+    def managed_nodes(self) -> List[SimulatedNode]:
+        """The nodes this server manages, in tracking order."""
+        return list(self._managed)
+
+    @property
+    def managed_hostnames(self) -> List[str]:
+        return sorted(n.hostname for n in self._managed)
 
     def _make_console_sink(self, hostname: str):
         def _sink(text: str) -> None:
@@ -235,7 +276,7 @@ class ClusterWorXServer:
                 else None
             # Snapshot the membership: a health transition observed
             # mid-sweep can trigger forget_node from a subscriber.
-            for node in list(self.cluster.nodes):
+            for node in list(self._managed):
                 if not self.store.is_tracked(node.hostname):
                     continue  # hot-removed earlier in this same pass
                 reachable = 1 if (node.is_running()
@@ -300,7 +341,7 @@ class ClusterWorXServer:
         """Nodes whose agents have gone quiet for longer than ``max_age``."""
         now = self.kernel.now
         out = []
-        for hostname in self.cluster.hostnames:
+        for hostname in self.managed_hostnames:
             t = self.store.last_seen(hostname)
             if t is None or now - t > max_age:
                 out.append(hostname)
@@ -362,7 +403,7 @@ class ClusterWorXServer:
         """
         image = self.images.get(image_name)
         if hostnames is None:
-            targets = list(self.cluster.nodes)
+            targets = list(self._managed)
         else:
             targets = [self.cluster.node(h) for h in hostnames]
         self.images.assign(targets, image_name)

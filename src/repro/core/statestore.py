@@ -288,6 +288,36 @@ class StateStore:
         self.updates_applied += applied
         return applied
 
+    def restore(self, hostname: str, values: Mapping[str, object], *,
+                time: float, agent_time: Optional[float] = None) -> None:
+        """Seed a host's state wholesale, without notifying subscribers.
+
+        This is the shard-rebalance migration path: when a drained
+        shard's node moves to a new owner, the new store adopts the
+        node's last-known values (and agent freshness, so the health
+        tracker does not immediately declare it stale) as a silent
+        write.  Subscribers are deliberately *not* published to — the
+        values are not new observations, and replaying them would
+        double-count history points and re-trigger event rules that
+        already fired on the old shard.
+        """
+        self.track(hostname)
+        if not values:
+            return
+        old = self._hosts.get(hostname)
+        old_values: Mapping[str, object] = old if old is not None \
+            else _EMPTY
+        self._rollup_delta(hostname, old_values, values)
+        merged = dict(old_values)
+        merged.update(values)
+        self._fork_if_frozen()
+        self._hosts[hostname] = merged
+        self._last_update[hostname] = time
+        if agent_time is not None:
+            self._last_agent[hostname] = agent_time
+        self._time = max(self._time, time)
+        self._generation += 1
+
     def _fork_if_frozen(self) -> None:
         """Copy-on-write: if a live snapshot references the host map,
         replace it with a shallow (pointer-level) copy before writing."""
@@ -372,6 +402,27 @@ class StateStore:
         else:
             self.snapshot_reuses += 1
         return self._snapshot
+
+    def rollup(self) -> Dict[str, object]:
+        """The *raw* additive aggregates behind :meth:`summary`.
+
+        Cross-shard federation needs the pre-division numbers: a mean of
+        means is wrong, a sum of sums is right.  Everything here merges
+        by addition except ``temp_max`` (merge by max) and
+        ``generation`` (a per-store version, used by the federation
+        cache to detect which shard's contribution went stale).
+        """
+        total = len(self._tracked) if self._tracked else len(self._hosts)
+        return {
+            "nodes_total": total,
+            "nodes_up": len(self._up),
+            "cpu_sum": self._cpu_sum,
+            "cpu_n": self._cpu_n,
+            "mem_used": self._mem_used,
+            "mem_total": self._mem_total,
+            "temp_max": self._temp_max,
+            "generation": self._generation,
+        }
 
     def summary(self) -> Dict[str, object]:
         """The cluster rollup, read straight off the running aggregates."""

@@ -1,0 +1,163 @@
+"""Federated fan-out: route one logical run to the owning shards.
+
+The flat :class:`~repro.remote.engine.TaskEngine` drives every target
+from one window.  Under federation each shard runs its *own* engine
+over its *own* nodes, so a cluster-wide command becomes one sub-run per
+owning shard — each with its own fanout window — and the
+:class:`FederatedRun` presents the merged result with the flat
+:class:`~repro.remote.engine.TaskRun` surface (``done``, ``results``,
+``ok``, ``counts``, ``gather``/``report``), so callers — the facade's
+``remote_run``, event actions, recovery probes — never see the split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.federation.shard import Shard
+from repro.remote.engine import TaskRun
+from repro.remote.gather import GatheredGroup, format_gathered, gather
+from repro.remote.nodeset import NodeSet
+from repro.remote.worker import WorkerResult
+from repro.sim import SimKernel
+
+__all__ = ["FederatedRun", "FederatedRemote"]
+
+
+class FederatedRun:
+    """One logical command execution, split over per-shard TaskRuns."""
+
+    def __init__(self, kernel: SimKernel, runs: Sequence[TaskRun]):
+        #: the per-shard sub-runs, in shard-index order.
+        self.runs = list(runs)
+        self.done = kernel.all_of([run.done for run in self.runs])
+
+    # -- merged views -----------------------------------------------------
+    @property
+    def results(self) -> Dict[str, WorkerResult]:
+        merged: Dict[str, WorkerResult] = {}
+        for run in self.runs:
+            merged.update(run.results)
+        return merged
+
+    @property
+    def nodes(self) -> NodeSet:
+        out = NodeSet()
+        for run in self.runs:
+            out = out | run.nodes
+        return out
+
+    @property
+    def complete(self) -> bool:
+        return all(run.complete for run in self.runs)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.runs) and all(run.ok for run in self.runs)
+
+    @property
+    def makespan(self) -> float:
+        return max((run.makespan for run in self.runs), default=0.0)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(run.total_attempts for run in self.runs)
+
+    def counts(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for run in self.runs:
+            for status, count in run.counts().items():
+                merged[status] = merged.get(status, 0) + count
+        return merged
+
+    def nodes_with_status(self, *statuses: str) -> NodeSet:
+        out = NodeSet()
+        for run in self.runs:
+            out = out | run.nodes_with_status(*statuses)
+        return out
+
+    def gather(self) -> List[GatheredGroup]:
+        return gather(self.results.values())
+
+    def report(self) -> str:
+        return format_gathered(self.gather())
+
+
+class FederatedRemote:
+    """The ``server.remote`` surface: NodeSet-routed fan-out."""
+
+    def __init__(self, kernel: SimKernel, shards: Sequence[Shard],
+                 owner_of):
+        self.kernel = kernel
+        self._shards = list(shards)
+        self._owner_of = owner_of
+
+    def _default_shard(self) -> Shard:
+        return next((s for s in self._shards if s.active),
+                    self._shards[0])
+
+    def nodeset(self, nodes: Union[str, NodeSet, Iterable[str]]
+                ) -> NodeSet:
+        """Parse with the cluster's @group resolver (any shard's
+        engine resolves identically — they share the cluster)."""
+        return self._default_shard().server.remote.nodeset(nodes)
+
+    def split_by_owner(self, nodes: Union[str, NodeSet, Iterable[str]]
+                       ) -> Dict[int, NodeSet]:
+        """Shard index -> the slice of ``nodes`` that shard owns.
+
+        Hosts no shard owns route to the first active shard (its
+        engine reports them unreachable, exactly as the flat engine
+        does for unknown names).
+        """
+        by_shard: Dict[int, List[str]] = {}
+        fallback = self._default_shard()
+        for hostname in self.nodeset(nodes):
+            shard = self._owner_of(hostname)
+            if shard is None:
+                shard = fallback
+            by_shard.setdefault(shard.index, []).append(hostname)
+        return {index: NodeSet(names)
+                for index, names in sorted(by_shard.items())}
+
+    def run(self, command, nodes: Union[str, NodeSet, Iterable[str]],
+            **options) -> FederatedRun:
+        """Schedule one sub-run per owning shard; returns immediately.
+
+        ``options`` (fanout/timeout/retries/backoff/jitter/
+        failure_policy) pass through to every sub-run — note fanout is
+        then *per shard*, which is the point: N shards drive N windows
+        in parallel instead of one global window.
+        """
+        split = self.split_by_owner(nodes)
+        if not split:
+            # Empty target set: one empty run keeps the TaskRun
+            # surface (done fires immediately, results == {}).
+            empty = self._default_shard().server.remote.run(
+                command, NodeSet(), **options)
+            return FederatedRun(self.kernel, [empty])
+        runs = [self._shards[index].server.remote.run(
+            command, share, **options)
+            for index, share in split.items()]
+        return FederatedRun(self.kernel, runs)
+
+    def run_sync(self, command,
+                 nodes: Union[str, NodeSet, Iterable[str]],
+                 **options) -> FederatedRun:
+        """Schedule and drive the kernel until every sub-run finishes."""
+        task = self.run(command, nodes, **options)
+        self.kernel.run(task.done)
+        return task
+
+    @property
+    def runs(self) -> List[TaskRun]:
+        """Every sub-run ever scheduled, across all shard engines."""
+        out: List[TaskRun] = []
+        for shard in self._shards:
+            out.extend(shard.server.remote.runs)
+        return out
+
+    @property
+    def fanout(self) -> int:
+        """Per-shard window size (the flat engine default)."""
+        return self._default_shard().server.remote.fanout

@@ -1,0 +1,88 @@
+"""Incremental cross-shard rollup merging.
+
+The federated summary must cost O(shards), never O(N): each shard's
+:meth:`~repro.core.statestore.StateStore.rollup` is already an O(1)
+read of its running aggregates, and this cache merges them
+*incrementally* — a summary read checks each shard's generation (O(1))
+and re-pulls the rollup only for shards that wrote since the last
+read.  The cross-shard merge is then a direct sum over the cached
+per-shard aggregates (plus a max-merge for the hottest CPU), which is
+O(shards) by construction and — unlike a running subtract-and-add
+total — floating-point *exact*, so a 1-shard federation's summary is
+byte-identical to the flat server's (the golden-trace suite depends on
+that).
+
+``refreshes``/``reuses`` count how often a shard's contribution had to
+be re-read versus answered from cache; the E18 bench reads them to
+prove the summary path never rescans nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.federation.shard import Shard
+
+__all__ = ["RollupCache"]
+
+
+class RollupCache:
+    """Per-shard cached rollups, invalidated by store generation."""
+
+    def __init__(self, shards: Sequence[Shard]):
+        self._shards = list(shards)
+        self._cached: List[Dict[str, object]] = [
+            shard.server.store.rollup() for shard in self._shards]
+        self._gens: List[int] = [
+            int(rollup["generation"]) for rollup in self._cached]
+        #: shard contributions that had to be re-read (the shard wrote).
+        self.refreshes = 0
+        #: shard checks answered from cache (generation unchanged).
+        self.reuses = 0
+
+    def _sync(self) -> None:
+        for i, shard in enumerate(self._shards):
+            gen = shard.server.store.generation
+            if gen == self._gens[i]:
+                self.reuses += 1
+                continue
+            self._cached[i] = shard.server.store.rollup()
+            self._gens[i] = gen
+            self.refreshes += 1
+
+    @property
+    def generation(self) -> int:
+        """Sum of shard generations: monotone, O(shards) to read."""
+        return sum(s.server.store.generation for s in self._shards)
+
+    def summary(self) -> Dict[str, object]:
+        """The merged cluster rollup, flat-summary shaped.
+
+        Emits exactly the key set
+        :meth:`~repro.core.statestore.StateStore.summary` does, so
+        every consumer of the flat summary (gateway, CLI, golden-trace
+        S lines) reads a federated one without knowing the difference.
+        """
+        self._sync()
+        total = up = cpu_n = 0
+        cpu_sum = mem_used = mem_total = temp_max = 0.0
+        for rollup in self._cached:
+            total += int(rollup["nodes_total"])
+            up += int(rollup["nodes_up"])
+            cpu_n += int(rollup["cpu_n"])
+            cpu_sum += float(rollup["cpu_sum"])
+            mem_used += float(rollup["mem_used"])
+            mem_total += float(rollup["mem_total"])
+            temp = float(rollup["temp_max"])
+            if temp > temp_max:
+                temp_max = temp
+        return {
+            "nodes_total": total,
+            "nodes_up": up,
+            "nodes_down": total - up,
+            "cpu_util_mean_pct": cpu_sum / cpu_n if cpu_n else 0.0,
+            "mem_used_bytes": int(mem_used),
+            "mem_total_bytes": int(mem_total),
+            "cpu_temp_max_c": temp_max,
+            "generation": sum(self._gens),
+        }

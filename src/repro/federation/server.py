@@ -1,0 +1,337 @@
+"""The federation layer: N partition shards behind one server surface.
+
+The BNL scalability argument (PAPERS.md) is that a single control-plane
+owner dies at scale: every update, every sweep pass, every query lands
+on one process.  The federation splits the cluster into shards — each a
+full :class:`~repro.core.server.ClusterWorXServer` owning its nodes
+exclusively — and keeps the coordination layer *thin*:
+
+* **ingest routing** is one dict lookup per update (the owner map);
+* **summaries** merge per-shard O(1) rollups through the
+  :class:`~repro.federation.rollup.RollupCache` — O(shards), never
+  O(N);
+* **queries, remote runs and watch subscriptions** route to owning
+  shards by NodeSet and merge at the edge;
+* **drain** rebalances a shard's nodes onto the surviving shards,
+  migrating current state, agent freshness and history series.
+
+The surface mirrors the flat server exactly — client sessions, the
+gateway, the chaos harness and the CLI all run unmodified against
+either — and a 1-shard federation is *observably identical* to the
+flat topology (the golden-trace suite proves it byte-for-byte).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.auth import AuthManager, Role
+from repro.core.cluster import Cluster
+from repro.core.statestore import Update
+from repro.events.rules import ThresholdRule
+from repro.federation.remote import FederatedRemote
+from repro.federation.shard import Shard
+from repro.federation.views import (FederatedEvents, FederatedHealth,
+                                    FederatedHistory, FederatedRecovery,
+                                    FederatedSnapshot, FederatedStore,
+                                    FederatedSubscription)
+from repro.hardware.node import SimulatedNode
+from repro.imaging.manager import ImageManager
+from repro.imaging.multicast_clone import MulticastCloner
+from repro.sim import SimKernel
+
+__all__ = ["FederationServer"]
+
+
+class FederationServer:
+    """Thin coordinator over per-partition ClusterWorX shards."""
+
+    def __init__(self, kernel: SimKernel, cluster: Cluster,
+                 shards: List[Shard], *, registry=None, notifier=None,
+                 images: Optional[ImageManager] = None):
+        if not shards:
+            raise ValueError("a federation needs at least one shard")
+        self.kernel = kernel
+        self.cluster = cluster
+        self.shards = shards
+        self.registry = registry
+        self.notifier = notifier
+        self.topology = "federation"
+        #: hostname -> owning shard.  Replaced wholesale on membership
+        #: changes (never mutated in place) so an in-flight iteration
+        #: over it can never observe a half-applied rebalance.
+        self._owner: Dict[str, Shard] = {}
+        for shard in shards:
+            for node in shard.server.managed_nodes:
+                self._owner[node.hostname] = shard
+        self.auth = AuthManager()
+        self.auth.add_user("admin", "admin", Role.ADMIN)
+        #: shared image catalog (shards hold the same instance).
+        self.images = images if images is not None else ImageManager()
+        self.cloner = MulticastCloner(
+            kernel, cluster.fabric, cluster.management,
+            rng=cluster.streams("clone"))
+        # -- the flat-server surface, federated --------------------------
+        self.store = FederatedStore(shards, self.owner_of)
+        self.engine = FederatedEvents(shards, self.owner_of)
+        self.history = FederatedHistory(shards, self.owner_of)
+        self.health = FederatedHealth(shards, self.owner_of)
+        self.recovery = FederatedRecovery(shards, self.owner_of)
+        self.remote = FederatedRemote(kernel, shards, self.owner_of)
+        self.queries_served = 0
+        #: ingests that found no owner and were dropped.
+        self.unrouted_updates = 0
+        #: nodes moved per drain, for observability: (from, to, count).
+        self.rebalances: List[tuple] = []
+
+    # -- ownership -----------------------------------------------------------
+    def owner_of(self, hostname: str) -> Optional[Shard]:
+        """The shard that owns ``hostname`` (O(1)), or None."""
+        return self._owner.get(hostname)
+
+    def _default_shard(self) -> Shard:
+        return next((s for s in self.shards if s.active),
+                    self.shards[0])
+
+    def _least_loaded(self) -> Shard:
+        """Deterministic assignment target: the active shard managing
+        the fewest nodes, ties broken by shard index."""
+        return min((s for s in self.shards if s.active),
+                   key=lambda s: (s.n_nodes, s.index))
+
+    @property
+    def updates_received(self) -> int:
+        return sum(s.server.updates_received for s in self.shards)
+
+    # -- node membership ------------------------------------------------------
+    def track_node(self, node: SimulatedNode) -> None:
+        """Assign a new node to the least-loaded active shard."""
+        if node.hostname in self._owner:
+            return
+        shard = self._least_loaded()
+        shard.server.track_node(node)
+        owner = dict(self._owner)
+        owner[node.hostname] = shard
+        self._owner = owner
+
+    def forget_node(self, hostname: str) -> None:
+        """Drop the node from its owning shard and the owner map."""
+        shard = self._owner.get(hostname)
+        if shard is None:
+            return
+        shard.server.forget_node(hostname)
+        owner = dict(self._owner)
+        del owner[hostname]
+        self._owner = owner
+
+    def drain(self, index: int) -> Dict[str, int]:
+        """Deactivate one shard and rebalance its nodes.
+
+        Every node the drained shard owned moves to the least-loaded
+        surviving shard, carrying its current values, its agent
+        freshness (so the adopting health tracker does not instantly
+        declare it stale) and its history series.  Event-rule state and
+        the console archive intentionally start fresh on the new owner:
+        rules re-evaluate from the node's next update, and console
+        capture re-subscribes going forward.  Returns
+        ``{hostname: new shard index}``.
+        """
+        shard = self.shards[index]
+        if not shard.active:
+            return {}
+        if sum(1 for s in self.shards if s.active) <= 1:
+            raise ValueError("cannot drain the last active shard")
+        shard.server.stop_sweep()
+        shard.active = False
+        moved: Dict[str, int] = {}
+        owner = dict(self._owner)
+        source = shard.server
+        for node in source.managed_nodes:
+            hostname = node.hostname
+            values = dict(source.store.get(hostname))
+            seen = source.store.last_seen(hostname)
+            agent_seen = source.store.last_agent_seen(hostname)
+            series = source.history.export_host(hostname)
+            source.forget_node(hostname)
+            target = self._least_loaded()
+            target.server.track_node(node)
+            if values:
+                target.server.store.restore(
+                    hostname, values,
+                    time=seen if seen is not None else self.kernel.now,
+                    agent_time=agent_seen)
+            if series:
+                target.server.history.adopt_host(hostname, series)
+            owner[hostname] = target
+            moved[hostname] = target.index
+        self._owner = owner
+        self.rebalances.append((index, dict(moved)))
+        return moved
+
+    # -- tier-1 entry points ---------------------------------------------------
+    def ingest(self, update: Update) -> None:
+        """Route one agent update to its owning shard (O(1)).
+
+        Updates for hosts no shard owns are *dropped*, not guessed at:
+        applying them to an arbitrary shard would resurrect state for a
+        forgotten node (the flat store's known wart — its subscribers
+        may still see raw deltas after a forget).  Dropping here is what
+        makes a forgotten node vanish from every federated view — the
+        summary *and* live watch streams — within one slice."""
+        shard = self._owner.get(update.hostname)
+        if shard is None:
+            self.unrouted_updates += 1
+            return
+        shard.server.ingest(update)
+
+    def ingest_many(self, updates: List[Update]) -> int:
+        """Bulk routing: consecutive same-owner updates batch through
+        the owner's ``ingest_many`` so the per-batch amortization the
+        flat path gets survives the split.  Unowned updates drop, as in
+        :meth:`ingest`."""
+        applied = 0
+        run: List[Update] = []
+        run_shard: Optional[Shard] = None
+        for update in updates:
+            shard = self._owner.get(update.hostname)
+            if shard is None:
+                self.unrouted_updates += 1
+                continue
+            if shard is not run_shard and run:
+                applied += run_shard.server.ingest_many(run)
+                run = []
+            run_shard = shard
+            run.append(update)
+        if run:
+            applied += run_shard.server.ingest_many(run)
+        return applied
+
+    def receive(self, hostname: str, t: float,
+                values: Dict[str, object]) -> None:
+        self.ingest(Update(hostname=hostname, time=t, values=values,
+                           source="agent"))
+
+    # -- sweep lifecycle -------------------------------------------------------
+    def start_sweep(self) -> None:
+        for shard in self.shards:
+            if shard.active:
+                shard.server.start_sweep()
+
+    def stop_sweep(self) -> None:
+        for shard in self.shards:
+            shard.server.stop_sweep()
+
+    #: the flat server's knobs, fanned out so facade/harness code that
+    #: flips them (hot_path="legacy", chaos campaigns) works unchanged.
+    @property
+    def self_healing(self) -> bool:
+        return any(s.server.self_healing for s in self.shards)
+
+    @self_healing.setter
+    def self_healing(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.server.self_healing = value
+
+    @property
+    def sweep_batching(self) -> bool:
+        return all(s.server.sweep_batching for s in self.shards)
+
+    @sweep_batching.setter
+    def sweep_batching(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.server.sweep_batching = value
+
+    # -- tier-3 queries --------------------------------------------------------
+    def current(self, hostname: str) -> Mapping[str, object]:
+        self.queries_served += 1
+        return self.store.get(hostname)
+
+    def current_all(self) -> FederatedSnapshot:
+        self.queries_served += 1
+        return self.store.snapshot()
+
+    def subscribe(self, callback, *, name: str = "client",
+                  hosts: Optional[List[str]] = None,
+                  metrics: Optional[List[str]] = None
+                  ) -> FederatedSubscription:
+        return self.store.subscribe(callback, name=name, hosts=hosts,
+                                    metrics=metrics)
+
+    def last_seen(self, hostname: str) -> Optional[float]:
+        return self.store.last_seen(hostname)
+
+    def stale_nodes(self, max_age: float) -> List[str]:
+        out: List[str] = []
+        for shard in self.shards:
+            out.extend(shard.server.stale_nodes(max_age))
+        return sorted(out)
+
+    def cluster_summary(self) -> Dict[str, object]:
+        """The merged rollup: O(shards) cached aggregation, flat key
+        set plus nothing — consumers cannot tell the topologies apart."""
+        self.queries_served += 1
+        summary = self.store.summary()
+        summary["events_active"] = self.engine.active_count()
+        return summary
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """Per-shard observability rows (the gateway's /v1/shards)."""
+        return [{
+            "index": shard.index,
+            "name": shard.name,
+            "active": shard.active,
+            "nodes": shard.n_nodes,
+            "updates_received": shard.server.updates_received,
+            "generation": shard.server.store.generation,
+            "events_active": shard.server.engine.active_count(),
+        } for shard in self.shards]
+
+    @property
+    def managed_hostnames(self) -> List[str]:
+        return sorted(self._owner)
+
+    # -- tier-3 commands -------------------------------------------------------
+    def add_rule(self, rule: ThresholdRule) -> None:
+        """Rules are global: every shard evaluates them over its own
+        nodes (a rule's scope= filter still applies per host)."""
+        self.engine.add_rule(rule)
+
+    def power(self, hostname: str, operation: str) -> str:
+        shard = self._owner.get(hostname) or self._default_shard()
+        return shard.server.power(hostname, operation)
+
+    def console_tail(self, hostname: str, lines: int = 20) -> List[str]:
+        shard = self._owner.get(hostname) or self._default_shard()
+        return shard.server.console_tail(hostname, lines)
+
+    def console_archive(self, hostname: str, *,
+                        since: float = 0.0) -> List[tuple]:
+        shard = self._owner.get(hostname) or self._default_shard()
+        return shard.server.console_archive(hostname, since=since)
+
+    def console_search(self, pattern: str) -> List[tuple]:
+        hits: List[tuple] = []
+        for shard in self.shards:
+            hits.extend(shard.server.console_search(pattern))
+        return sorted(hits, key=lambda hit: (hit[0], hit[1]))
+
+    def clone_image(self, image_name: str,
+                    hostnames: Optional[List[str]] = None, *,
+                    reboot: bool = True):
+        """One multicast clone across shard boundaries: imaging rides
+        the fabric, not the control plane, so the federation clones
+        directly rather than splitting the stream per shard."""
+        image = self.images.get(image_name)
+        if hostnames is None:
+            targets = [node for shard in self.shards
+                       for node in shard.server.managed_nodes]
+        else:
+            targets = [self.cluster.node(h) for h in hostnames]
+        self.images.assign(targets, image_name)
+        return self.cloner.clone(targets, image, reboot=reboot)
+
+    def attach_slurm(self, controller) -> None:
+        """Every shard drains quarantined nodes through the same
+        resource manager."""
+        for shard in self.shards:
+            shard.server.attach_slurm(controller)

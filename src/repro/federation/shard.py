@@ -1,0 +1,48 @@
+"""One control-plane partition: a ClusterWorXServer plus ownership
+metadata.
+
+A shard *is* a full tier-2 server — state store, event engine, health
+tracker, recovery orchestrator, agent ingest, sweep — scoped to the
+node subset it owns exclusively.  The federation layer never reaches
+into shard internals; everything it needs (rollups, routing, drain
+migration) goes through the server's public surface, which is what lets
+``topology="flat"`` and a 1-shard federation stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.server import ClusterWorXServer
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """A partition's server plus the federation-side bookkeeping."""
+
+    __slots__ = ("index", "name", "server", "active")
+
+    def __init__(self, index: int, name: str, server: ClusterWorXServer):
+        #: position in the federation's shard list (stable identity).
+        self.index = index
+        #: display name ("shard0", or the partition label for
+        #: prefix-map topologies).
+        self.name = name
+        self.server = server
+        #: drained shards stay in the list (their index is identity)
+        #: but own no nodes and take no new assignments.
+        self.active = True
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.server.managed_nodes)
+
+    @property
+    def hostnames(self) -> List[str]:
+        return self.server.managed_hostnames
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "drained"
+        return (f"Shard({self.index}, {self.name!r}, {state}, "
+                f"nodes={self.n_nodes})")

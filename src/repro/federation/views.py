@@ -1,0 +1,475 @@
+"""Federated read-side facades over the shard servers.
+
+Every tier-3 consumer of the flat server — client sessions, the
+gateway, the chaos harness, the CLI — reads through a small surface:
+``server.store``, ``server.engine``, ``server.history``,
+``server.health``, ``server.recovery``.  This module reproduces each of
+those surfaces over N shards, with the same shapes and the same cost
+discipline:
+
+* reads that were O(1) on the flat server stay O(shards) here (summary
+  via the :class:`~repro.federation.rollup.RollupCache`, active-event
+  counts, snapshot stamping) — never O(N);
+* per-host reads route straight to the owning shard (O(1) owner lookup
+  plus the flat cost);
+* merge-reads (fired events, recovery logs) are O(total results), paid
+  only by the caller who asked for the whole list.
+
+Ownership is injected as a lookup callable so these views never hold —
+or mutate — the federation's owner map.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping as MappingABC
+from types import MappingProxyType
+from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
+                    Optional, Sequence, Set, Tuple)
+
+from repro.core.statestore import Snapshot, Subscription, Update
+from repro.events.engine import FiredEvent
+from repro.events.rules import ThresholdRule
+from repro.federation.rollup import RollupCache
+from repro.federation.shard import Shard
+
+__all__ = ["FederatedSnapshot", "FederatedSubscription",
+           "FederatedStore", "FederatedEvents", "FederatedHistory",
+           "FederatedHealth", "FederatedRecovery"]
+
+_EMPTY: Mapping[str, object] = MappingProxyType({})
+
+#: hostname -> owning shard (or None for unknown hosts).
+OwnerLookup = Callable[[str], Optional[Shard]]
+
+
+class FederatedSnapshot(MappingABC):
+    """An immutable all-shards view: one COW snapshot per shard.
+
+    Taking one is O(shards) — each per-shard snapshot is the store's
+    O(1) copy-on-write view — and it is exactly as stable: every shard
+    forks its host map on the next write, so this view never changes
+    under the caller regardless of how the simulation moves on.
+    """
+
+    __slots__ = ("_parts", "generation", "time")
+
+    def __init__(self, parts: Sequence[Snapshot]):
+        self._parts = tuple(parts)
+        #: sum of shard generations (monotone, like the flat stamp).
+        self.generation = sum(p.generation for p in self._parts)
+        #: simulation time of the newest applied update across shards.
+        self.time = max((p.time for p in self._parts), default=0.0)
+
+    def __getitem__(self, hostname: str) -> Mapping[str, object]:
+        for part in self._parts:
+            if hostname in part:
+                return part[hostname]
+        raise KeyError(hostname)
+
+    def __iter__(self) -> Iterator[str]:
+        for part in self._parts:
+            yield from part
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+    def __contains__(self, hostname: object) -> bool:
+        return any(hostname in part for part in self._parts)
+
+    def __repr__(self) -> str:
+        return (f"FederatedSnapshot(gen={self.generation}, "
+                f"shards={len(self._parts)}, hosts={len(self)})")
+
+
+class FederatedSubscription:
+    """One logical subscription spanning several shard buses.
+
+    Matches the :class:`~repro.core.statestore.Subscription` surface a
+    consumer touches (``cancel``, ``active``, ``delivered``, ``name``);
+    cancelling detaches every underlying shard subscription.
+    """
+
+    __slots__ = ("parts", "name")
+
+    def __init__(self, parts: Sequence[Subscription], name: str):
+        self.parts = list(parts)
+        self.name = name
+
+    @property
+    def active(self) -> bool:
+        return any(part.active for part in self.parts)
+
+    @property
+    def delivered(self) -> int:
+        return sum(part.delivered for part in self.parts)
+
+    def cancel(self) -> None:
+        for part in self.parts:
+            part.cancel()
+
+
+class FederatedStore:
+    """The ``server.store`` surface, merged across shards."""
+
+    def __init__(self, shards: Sequence[Shard], owner_of: OwnerLookup):
+        self._shards = list(shards)
+        self._owner_of = owner_of
+        self.rollups = RollupCache(shards)
+        #: (shard-generations, snapshot) cache so a quiescent
+        #: federation re-serves one FederatedSnapshot object.
+        self._snap_cache: Optional[Tuple[Tuple[int, ...],
+                                         FederatedSnapshot]] = None
+
+    # -- membership / routing ------------------------------------------------
+    @property
+    def tracked(self) -> Set[str]:
+        out: Set[str] = set()
+        for shard in self._shards:
+            out |= shard.server.store.tracked
+        return out
+
+    def is_tracked(self, hostname: str) -> bool:
+        shard = self._owner_of(hostname)
+        return shard is not None \
+            and shard.server.store.is_tracked(hostname)
+
+    def get(self, hostname: str) -> Mapping[str, object]:
+        shard = self._owner_of(hostname)
+        return shard.server.store.get(hostname) if shard is not None \
+            else _EMPTY
+
+    def last_seen(self, hostname: str) -> Optional[float]:
+        shard = self._owner_of(hostname)
+        return shard.server.store.last_seen(hostname) \
+            if shard is not None else None
+
+    def last_agent_seen(self, hostname: str) -> Optional[float]:
+        shard = self._owner_of(hostname)
+        return shard.server.store.last_agent_seen(hostname) \
+            if shard is not None else None
+
+    @property
+    def hostnames(self) -> List[str]:
+        out: List[str] = []
+        for shard in self._shards:
+            out.extend(shard.server.store.hostnames)
+        return sorted(out)
+
+    def __contains__(self, hostname: str) -> bool:
+        shard = self._owner_of(hostname)
+        return shard is not None and hostname in shard.server.store
+
+    def __len__(self) -> int:
+        return sum(len(shard.server.store) for shard in self._shards)
+
+    # -- read path -----------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self.rollups.generation
+
+    def summary(self) -> Dict[str, object]:
+        return self.rollups.summary()
+
+    def snapshot(self) -> FederatedSnapshot:
+        gens = tuple(shard.server.store.generation
+                     for shard in self._shards)
+        cached = self._snap_cache
+        if cached is not None and cached[0] == gens:
+            return cached[1]
+        snap = FederatedSnapshot([shard.server.store.snapshot()
+                                  for shard in self._shards])
+        self._snap_cache = (gens, snap)
+        return snap
+
+    # -- subscription bus ------------------------------------------------------
+    def subscribe(self, callback: Callable[[Update], None], *,
+                  name: str = "?",
+                  hosts: Optional[Iterable[str]] = None,
+                  metrics: Optional[Iterable[str]] = None
+                  ) -> FederatedSubscription:
+        """Register on the owning shards' buses.
+
+        A host-filtered subscription lands only on the shards that own
+        the requested hosts (filtered to each shard's share); an
+        unfiltered one spans every shard bus — the gateway's watch hub
+        fan-in.  Hosts no shard owns yet fall to the first active shard
+        so a later ``track_node`` there starts delivering.
+        """
+        if hosts is None:
+            parts = [shard.server.store.subscribe(
+                callback, name=name, metrics=metrics)
+                for shard in self._shards]
+            return FederatedSubscription(parts, name)
+        by_shard: Dict[int, List[str]] = {}
+        fallback = next((s for s in self._shards if s.active),
+                        self._shards[0])
+        for hostname in hosts:
+            shard = self._owner_of(hostname)
+            if shard is None:
+                shard = fallback
+            by_shard.setdefault(shard.index, []).append(hostname)
+        parts = [self._shards[index].server.store.subscribe(
+            callback, name=name, hosts=share, metrics=metrics)
+            for index, share in sorted(by_shard.items())]
+        return FederatedSubscription(parts, name)
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        out: List[Subscription] = []
+        for shard in self._shards:
+            out.extend(shard.server.store.subscriptions)
+        return out
+
+    # -- merged observability counters ----------------------------------------
+    @property
+    def updates_applied(self) -> int:
+        return sum(s.server.store.updates_applied for s in self._shards)
+
+    @property
+    def full_copies(self) -> int:
+        return sum(s.server.store.full_copies for s in self._shards)
+
+    @property
+    def cow_forks(self) -> int:
+        return sum(s.server.store.cow_forks for s in self._shards)
+
+    @property
+    def snapshots_taken(self) -> int:
+        return sum(s.server.store.snapshots_taken
+                   for s in self._shards)
+
+    @property
+    def snapshot_reuses(self) -> int:
+        return sum(s.server.store.snapshot_reuses
+                   for s in self._shards)
+
+    @property
+    def notifications(self) -> int:
+        return sum(s.server.store.notifications for s in self._shards)
+
+    @property
+    def errors(self) -> List[Tuple[str, str, str]]:
+        out: List[Tuple[str, str, str]] = []
+        for shard in self._shards:
+            out.extend(shard.server.store.errors)
+        return out
+
+    @property
+    def detached(self) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        for shard in self._shards:
+            out.extend(shard.server.store.detached)
+        return out
+
+
+class FederatedEvents:
+    """The ``server.engine`` surface, merged across shards."""
+
+    def __init__(self, shards: Sequence[Shard], owner_of: OwnerLookup):
+        self._shards = list(shards)
+        self._owner_of = owner_of
+
+    def _engines(self):
+        return [shard.server.engine for shard in self._shards]
+
+    # -- rule management (fan-out: rules are global) --------------------------
+    def add_rule(self, rule: ThresholdRule) -> None:
+        for engine in self._engines():
+            engine.add_rule(rule)
+
+    def remove_rule(self, name: str) -> None:
+        for engine in self._engines():
+            engine.remove_rule(name)
+
+    def add_listener(self, listener) -> None:
+        for engine in self._engines():
+            engine.add_listener(listener)
+
+    def forget_node(self, hostname: str) -> None:
+        shard = self._owner_of(hostname)
+        if shard is not None:
+            shard.server.engine.forget_node(hostname)
+
+    @property
+    def rules(self) -> List[ThresholdRule]:
+        return self._shards[0].server.engine.rules
+
+    #: legacy/fast evaluation toggle, fanned out (the facade's
+    #: ``hot_path="legacy"`` flips it through this property).
+    @property
+    def indexed(self) -> bool:
+        return self._shards[0].server.engine.indexed
+
+    @indexed.setter
+    def indexed(self, value: bool) -> None:
+        for engine in self._engines():
+            engine.indexed = value
+
+    # -- merged event reads ----------------------------------------------------
+    @property
+    def fired(self) -> List[FiredEvent]:
+        """All shards' fired events, merged by firing time (stable by
+        shard index on ties) — the flat ``engine.fired`` shape."""
+        return list(heapq.merge(
+            *(engine.fired for engine in self._engines()),
+            key=lambda event: event.time))
+
+    def active_events(self) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        for engine in self._engines():
+            out.extend(engine.active_events())
+        return sorted(out)
+
+    def active_count(self) -> int:
+        return sum(engine.active_count() for engine in self._engines())
+
+    def is_triggered(self, rule_name: str, hostname: str) -> bool:
+        shard = self._owner_of(hostname)
+        return shard is not None and \
+            shard.server.engine.is_triggered(rule_name, hostname)
+
+    def event_log(self, *, since: float = 0.0,
+                  rule: Optional[str] = None,
+                  node: Optional[str] = None,
+                  limit: Optional[int] = None) -> List[FiredEvent]:
+        merged = list(heapq.merge(
+            *(engine.event_log(since=since, rule=rule, node=node)
+              for engine in self._engines()),
+            key=lambda event: event.time))
+        if limit is not None:
+            merged = merged[-limit:]
+        return merged
+
+    def mark_fixed(self, rule_name: str, hostname: str) -> None:
+        shard = self._owner_of(hostname)
+        if shard is not None:
+            shard.server.engine.mark_fixed(rule_name, hostname)
+
+
+class FederatedHistory:
+    """The ``server.history`` surface: per-host series live with the
+    owning shard; cross-node queries route per host and merge."""
+
+    def __init__(self, shards: Sequence[Shard], owner_of: OwnerLookup):
+        self._shards = list(shards)
+        self._owner_of = owner_of
+
+    def _for(self, hostname: str):
+        shard = self._owner_of(hostname)
+        return (shard if shard is not None
+                else self._shards[0]).server.history
+
+    def series(self, hostname: str, metric: str):
+        return self._for(hostname).series(hostname, metric)
+
+    def window(self, hostname: str, metric: str, t0: float, t1: float):
+        return self._for(hostname).window(hostname, metric, t0, t1)
+
+    def latest(self, hostname: str, metric: str):
+        return self._for(hostname).latest(hostname, metric)
+
+    def graph(self, hostname: str, metric: str, buckets: int = 60):
+        return self._for(hostname).graph(hostname, metric, buckets)
+
+    def correlate(self, hostname: str, metric_a: str, metric_b: str
+                  ) -> float:
+        return self._for(hostname).correlate(hostname, metric_a,
+                                             metric_b)
+
+    def trend(self, hostname: str, metric: str, *,
+              window: Optional[float] = None):
+        return self._for(hostname).trend(hostname, metric,
+                                         window=window)
+
+    def forecast(self, hostname: str, metric: str, at: float, *,
+                 window: Optional[float] = None) -> float:
+        return self._for(hostname).forecast(hostname, metric, at,
+                                            window=window)
+
+    def compare_nodes(self, hostnames: Sequence[str], metric: str
+                      ) -> Dict[str, float]:
+        result: Dict[str, float] = {}
+        for hostname in hostnames:
+            result.update(self._for(hostname).compare_nodes(
+                [hostname], metric))
+        return result
+
+    def forget(self, hostname: str) -> None:
+        self._for(hostname).forget(hostname)
+
+    @property
+    def metric_names(self) -> List[str]:
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.server.history.metric_names)
+        return sorted(names)
+
+    @property
+    def hostnames(self) -> List[str]:
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.server.history.hostnames)
+        return sorted(names)
+
+
+class FederatedHealth:
+    """The ``server.health`` read surface (per-host routing)."""
+
+    def __init__(self, shards: Sequence[Shard], owner_of: OwnerLookup):
+        self._shards = list(shards)
+        self._owner_of = owner_of
+
+    def record(self, hostname: str):
+        shard = self._owner_of(hostname)
+        return shard.server.health.record(hostname) \
+            if shard is not None else None
+
+    def state(self, hostname: str):
+        shard = self._owner_of(hostname)
+        if shard is None:
+            shard = self._shards[0]
+        return shard.server.health.state(hostname)
+
+    def counts(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for shard in self._shards:
+            for state, count in shard.server.health.counts().items():
+                merged[state] = merged.get(state, 0) + count
+        return merged
+
+    def add_listener(self, listener) -> None:
+        for shard in self._shards:
+            shard.server.health.add_listener(listener)
+
+
+class FederatedRecovery:
+    """The ``server.recovery`` read surface (merged logs, routed
+    records) — what the chaos harness scores against."""
+
+    def __init__(self, shards: Sequence[Shard], owner_of: OwnerLookup):
+        self._shards = list(shards)
+        self._owner_of = owner_of
+
+    @property
+    def notifications(self) -> List[Tuple[float, str, str]]:
+        return list(heapq.merge(
+            *(shard.server.recovery.notifications
+              for shard in self._shards),
+            key=lambda row: row[0]))
+
+    @property
+    def errors(self) -> List[Tuple[float, str, str, str]]:
+        return list(heapq.merge(
+            *(shard.server.recovery.errors for shard in self._shards),
+            key=lambda row: row[0]))
+
+    def record_for(self, hostname: str):
+        shard = self._owner_of(hostname)
+        return shard.server.recovery.record_for(hostname) \
+            if shard is not None else None
+
+    def forget(self, hostname: str) -> None:
+        shard = self._owner_of(hostname)
+        if shard is not None:
+            shard.server.recovery.forget(hostname)

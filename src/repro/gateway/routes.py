@@ -17,6 +17,7 @@ The surface (all ``GET``):
 ``/v1/events/log?since=&node=&limit=``      fired-event history (locked)
 ``/v1/history/{hostname}/{metric}``         downsampled graph or raw window
 ``/v1/watch?hosts=&metrics=``               live delta stream (shell-owned)
+``/v1/shards``                              control-plane shard stats
 ``/stats``                                  gateway request metrics
 ==========================================  =================================
 """
@@ -117,6 +118,11 @@ def build_router(state: GatewayState,
                       {"mean": mean, "min": lo, "max": hi})
                      for center, mean, lo, hi in graph]
 
+    def shards(request: HttpRequest, params: Dict[str, str]) -> Result:
+        t = state.view.sim_time
+        return 200, [("shard", row["name"], t, row)
+                     for row in state.shards()]
+
     def stats(request: HttpRequest, params: Dict[str, str]) -> Result:
         return 200, [("stats", "gateway", state.view.sim_time,
                       stats_values())]
@@ -129,6 +135,7 @@ def build_router(state: GatewayState,
     router.add("/v1/events", events)
     router.add("/v1/events/log", event_log)
     router.add("/v1/history/{hostname}/{metric}", history)
+    router.add("/v1/shards", shards)
     router.add("/stats", stats)
     # /v1/watch is registered by the shell: it owns sockets and queues.
     return router

@@ -164,6 +164,24 @@ class GatewayState:
         view = self.view
         return view.sim_time, view.events
 
+    def shards(self) -> List[Dict[str, object]]:
+        """Per-shard control-plane rows; a flat server reports itself
+        as a single synthetic shard so the endpoint shape is
+        topology-independent."""
+        stats = getattr(self.server, "shard_stats", None)
+        if stats is not None:
+            return stats()
+        view = self.view
+        return [{
+            "index": 0,
+            "name": "flat",
+            "active": True,
+            "nodes": len(view.hostnames),
+            "updates_received": self.server.updates_received,
+            "generation": view.generation,
+            "events_active": self.server.engine.active_count(),
+        }]
+
     # -- serving side, cold (serialized with the sim slice lock) -------------
     def history_graph(self, hostname: str, metric: str, *,
                       buckets: int = 60

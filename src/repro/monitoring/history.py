@@ -176,6 +176,29 @@ class HistoryStore:
             return None
         return float(crossing)
 
+    # -- migration --------------------------------------------------------
+    def export_host(self, hostname: str
+                    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Every stored series for one host, as ``{metric: (t, v)}``.
+
+        The shard-rebalance path: a drained shard exports a node's
+        history so the adopting shard keeps the trend lines intact.
+        """
+        out: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for (host, metric) in self._series:
+            if host == hostname:
+                out[metric] = self.series(host, metric)
+        return out
+
+    def adopt_host(self, hostname: str,
+                   series: Dict[str, Tuple[np.ndarray, np.ndarray]]
+                   ) -> None:
+        """Replay an :meth:`export_host` payload into this store."""
+        for metric in sorted(series):
+            t, v = series[metric]
+            for ti, vi in zip(t, v):
+                self.record(hostname, float(ti), {metric: float(vi)})
+
     # -- persistence ------------------------------------------------------
     def export_text(self) -> str:
         """Serialize every series as ``host metric t value`` lines.

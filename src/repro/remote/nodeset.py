@@ -369,6 +369,60 @@ class NodeSet:
             start += size
         return chunks
 
+    def partition(self, n: int) -> List["NodeSet"]:
+        """Exactly ``n`` contiguous NodeSets of near-equal size.
+
+        Unlike :meth:`split`, the result always has length ``n`` — tail
+        chunks may be empty when ``n`` exceeds the set size.  The
+        assignment is deterministic (iteration order is the set's
+        canonical numeric order), which is what makes it suitable for
+        shard ownership maps: the same node universe and shard count
+        always produce the same owner for every node.
+        """
+        if n < 1:
+            raise ValueError("partition requires n >= 1")
+        names = self.expand()
+        base, extra = divmod(len(names), n)
+        chunks: List[NodeSet] = []
+        start = 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            chunks.append(NodeSet(names[start:start + size]))
+            start += size
+        return chunks
+
+    def split_by(self, prefix_map: Mapping[str, str], *,
+                 default: Optional[str] = None) -> Dict[str, "NodeSet"]:
+        """Partition by hostname prefix into labelled NodeSets.
+
+        ``prefix_map`` maps hostname prefixes to partition labels; each
+        name is assigned to the *longest* matching prefix (so
+        ``{"rack1-": "a", "rack1-hot": "b"}`` routes ``rack1-hot03`` to
+        ``b``).  Names matching no prefix go to the ``default`` label,
+        or raise :class:`ValueError` when no default is given.  Every
+        label in the map (and the default) appears in the result, even
+        when its NodeSet is empty — callers building shard topologies
+        need the full label universe, not just the occupied ones.
+        """
+        prefixes = sorted(prefix_map, key=len, reverse=True)
+        buckets: Dict[str, List[str]] = {
+            label: [] for label in prefix_map.values()}
+        if default is not None:
+            buckets.setdefault(default, [])
+        for name in self:
+            for prefix in prefixes:
+                if name.startswith(prefix):
+                    buckets[prefix_map[prefix]].append(name)
+                    break
+            else:
+                if default is None:
+                    raise ValueError(
+                        f"no prefix in map matches {name!r} and no "
+                        f"default label was given")
+                buckets[default].append(name)
+        return {label: NodeSet(names)
+                for label, names in buckets.items()}
+
     @classmethod
     def fromlist(cls, names: Iterable[str]) -> "NodeSet":
         return cls(names)

@@ -11,8 +11,10 @@ upward is a layering violation.  Cycles are forbidden at any layer.
     3  events, remote, slurm,      control-plane services
        resilience
     4  core                        the 3-tier server + facade internals
-    5  gateway                     async serving front-end over core
-    6  cli, repro/__init__         operator shell / public facade
+    5  federation                  sharded control plane over core
+    6  gateway                     async serving front-end over either
+                                   topology
+    7  cli, repro/__init__         operator shell / public facade
 
 Keep this table in sync with the DESIGN.md "worxlint" section when a
 package is added or moved.
@@ -40,7 +42,8 @@ LAYER_MAP: Mapping[str, int] = {
     "slurm": 3,
     "resilience": 3,
     "core": 4,
-    "gateway": 5,
-    "cli": 6,
-    "": 6,  # the repro/__init__.py facade
+    "federation": 5,
+    "gateway": 6,
+    "cli": 7,
+    "": 7,  # the repro/__init__.py facade
 }

@@ -1,11 +1,11 @@
-"""Tier-1 canaries for the E16 hot path and the E17 gateway
-(`make bench-smoke`).
+"""Tier-1 canaries for the E16 hot path, the E17 gateway, and the E18
+sharded control plane (`make bench-smoke`).
 
 Runs the tiny cells — 200 self-healing nodes for 60 simulated seconds
-(E16), and a 2-second real-socket serve with 20 watch streams (E17) —
-through the real benchmark code and fails if a cell blows a wall-clock
-budget set at ~5x the measured cost on the machine class this repo
-targets.  The point is not a precise number: it is that an accidental
+(E16), a 2-second real-socket serve with 20 watch streams (E17), and
+the same 200-node cell under 4 federation shards (E18) — through the
+real benchmark code and fails if a cell blows a wall-clock budget set
+at ~5x the measured cost on the machine class this repo targets.  The point is not a precise number: it is that an accidental
 O(N^2) (or a per-sample process spawn creeping back into the
 agent/ingest path, or a per-request state copy creeping into the
 gateway) shows up as a 10-100x blowup, far beyond any plausible
@@ -21,6 +21,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent
 
 from bench_e16_scaling import run_cell  # noqa: E402
 from bench_e17_gateway import run_cell as run_gateway_cell  # noqa: E402
+from bench_e18_federation import run_cell as run_fed_cell  # noqa: E402
 
 #: ~5x the observed tiny-cell wall clock (sub-second at time of writing).
 TINY_BUDGET_S = 10.0
@@ -56,3 +57,20 @@ def test_gateway_bench_smoke_within_budget():
     assert wall < GATEWAY_BUDGET_S, (
         f"tiny E17 cell took {wall:.1f}s (budget {GATEWAY_BUDGET_S}s) — "
         f"gateway serving regression?")
+
+
+def test_federation_bench_smoke_within_budget():
+    start = time.perf_counter()
+    row = run_fed_cell(200, 60.0, shards=4)
+    wall = time.perf_counter() - start
+    # same work as the flat tiny cell, split over four shards
+    assert row["updates"] >= 200 * 12
+    assert row["shard_nodes"] == [50, 50, 50, 50]
+    assert row["unrouted_updates"] == 0
+    # the cached cross-shard summary stays in the microsecond range;
+    # an O(N) rescan creeping in shows up as a 100x blowup here
+    assert row["summary_hot_us"] < 1000.0
+    assert row["summary_dirty_us"] < 1000.0
+    assert wall < TINY_BUDGET_S, (
+        f"tiny E18 cell took {wall:.1f}s (budget {TINY_BUDGET_S}s) — "
+        f"federation routing regression?")

@@ -62,6 +62,22 @@ def test_both_kernels_agree_on_interleaved_timers():
     assert run(True) == run(False)
 
 
+# -- topology equivalence --------------------------------------------------
+def test_monitoring_trace_single_shard_federation_is_flat():
+    """A 1-shard federation must be *observably identical* to the flat
+    topology: same golden update/event schedule, byte for byte."""
+    golden = gt.read_golden(gt.MONITORING_GOLDEN)
+    assert gt.monitoring_trace(topology="federation",
+                               shards=1) == golden
+
+
+def test_chaos_trace_single_shard_federation_is_flat():
+    """Fault handling, recovery playbooks and notifications take the
+    exact same path through one shard as through the flat server."""
+    golden = gt.read_golden(gt.CHAOS_GOLDEN)
+    assert gt.chaos_trace(topology="federation", shards=1) == golden
+
+
 # -- satellite regressions -------------------------------------------------
 def test_trigger_untriggered_source_raises():
     """Event.trigger() on a pending source must fail loudly, not

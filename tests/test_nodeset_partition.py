@@ -1,0 +1,138 @@
+"""NodeSet partitioning: ``partition`` (fixed shard count) and
+``split_by`` (prefix-map routing) — the federation's ownership planners."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.remote import GroupResolver, NodeSet
+
+node_names = st.builds(
+    lambda prefix, index, width: f"{prefix}{str(index).zfill(width)}",
+    prefix=st.sampled_from(["node", "n", "rack-a", "io"]),
+    index=st.integers(0, 450),
+    width=st.integers(1, 4),
+)
+
+
+class TestPartition:
+    def test_exact_shard_count_even(self):
+        parts = NodeSet("node[001-012]").partition(4)
+        assert len(parts) == 4
+        assert [len(p) for p in parts] == [3, 3, 3, 3]
+
+    def test_remainder_spreads_from_the_front(self):
+        parts = NodeSet("node[001-010]").partition(4)
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+
+    def test_contiguous_in_numeric_order(self):
+        parts = NodeSet("node[001-009]").partition(3)
+        assert parts[0].fold() == "node[001-003]"
+        assert parts[1].fold() == "node[004-006]"
+        assert parts[2].fold() == "node[007-009]"
+
+    def test_zero_padded_range_straddling_pad_boundary(self):
+        # 08,09 explicitly padded; 10-12 naturally two digits — the
+        # numeric iteration order must survive partitioning
+        parts = NodeSet("node[08-12]").partition(2)
+        assert parts[0].expand() == ["node08", "node09", "node10"]
+        assert parts[1].expand() == ["node11", "node12"]
+
+    def test_more_shards_than_nodes_yields_empty_tails(self):
+        parts = NodeSet("node[1-2]").partition(5)
+        assert len(parts) == 5
+        assert [len(p) for p in parts] == [1, 1, 0, 0, 0]
+
+    def test_group_expansion_partitions(self):
+        resolver = GroupResolver({"rack1": ["n[1-6]"],
+                                  "rack2": ["n[7-9]"]})
+        ns = NodeSet("@rack1,@rack2", resolver=resolver)
+        parts = ns.partition(3)
+        assert [p.fold() for p in parts] == \
+            ["n[1-3]", "n[4-6]", "n[7-9]"]
+
+    def test_n_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSet("node[1-4]").partition(0)
+
+    @given(st.lists(node_names, max_size=60), st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_property_partition_is_a_partition(self, names, n):
+        ns = NodeSet(names)
+        parts = ns.partition(n)
+        assert len(parts) == n  # exactly n, unlike split()
+        rebuilt = NodeSet()
+        for part in parts:
+            assert not (rebuilt & part)  # disjoint
+            rebuilt = rebuilt | part
+        assert rebuilt == ns
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestSplitBy:
+    def test_routes_by_prefix(self):
+        ns = NodeSet("cn[01-04],gpu[1-2],io1")
+        out = ns.split_by({"cn": "compute", "gpu": "accel",
+                           "io": "storage"})
+        assert out["compute"].fold() == "cn[01-04]"
+        assert out["accel"].fold() == "gpu[1-2]"
+        assert out["storage"].fold() == "io1"
+
+    def test_longest_prefix_wins(self):
+        ns = NodeSet("rack1-n[1-2],rack10-n[1-2]")
+        out = ns.split_by({"rack1": "one", "rack10": "ten"})
+        assert out["one"].fold() == "rack1-n[1-2]"
+        assert out["ten"].fold() == "rack10-n[1-2]"
+
+    def test_two_prefixes_may_share_a_label(self):
+        ns = NodeSet("cn[1-2],gpu[1-2],io1")
+        out = ns.split_by({"cn": "pool", "gpu": "pool", "io": "aux"})
+        assert out["pool"] == NodeSet("cn[1-2],gpu[1-2]")
+        assert out["aux"] == NodeSet("io1")
+
+    def test_unmatched_without_default_raises(self):
+        with pytest.raises(ValueError):
+            NodeSet("cn1,mystery9").split_by({"cn": "compute"})
+
+    def test_unmatched_falls_to_default(self):
+        out = NodeSet("cn1,mystery9").split_by({"cn": "compute"},
+                                               default="misc")
+        assert out["compute"].fold() == "cn1"
+        assert out["misc"].fold() == "mystery9"
+
+    def test_every_label_present_even_when_empty(self):
+        out = NodeSet("cn[1-3]").split_by({"cn": "compute",
+                                           "gpu": "accel"},
+                                          default="misc")
+        assert out["compute"].fold() == "cn[1-3]"
+        assert len(out["accel"]) == 0
+        assert len(out["misc"]) == 0
+
+    def test_zero_padded_ranges_preserved(self):
+        out = NodeSet("cn[008-012],io[08-10]").split_by(
+            {"cn": "compute", "io": "storage"})
+        assert out["compute"].fold() == "cn[008-012]"
+        assert out["storage"].expand() == ["io08", "io09", "io10"]
+
+    def test_group_expansion_splits(self):
+        resolver = GroupResolver({"all": ["cn[1-4]", "io[1-2]"]})
+        ns = NodeSet("@all", resolver=resolver)
+        out = ns.split_by({"cn": "compute", "io": "storage"})
+        assert out["compute"].fold() == "cn[1-4]"
+        assert out["storage"].fold() == "io[1-2]"
+
+    @given(st.lists(node_names, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_property_split_by_is_a_partition(self, names):
+        ns = NodeSet(names)
+        out = ns.split_by({"node": "a", "n": "b", "rack": "c"},
+                          default="d")
+        rebuilt = NodeSet()
+        for part in out.values():
+            assert not (rebuilt & part)
+            rebuilt = rebuilt | part
+        assert rebuilt == ns
+        # "node..." names must land on the longer prefix's label
+        assert not any(h.startswith("node") for h in out["b"])
