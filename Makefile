@@ -4,7 +4,7 @@
 PYTHON    ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test bench bench-smoke baseline chaos serve
+.PHONY: check lint test sanitize bench bench-smoke baseline chaos serve
 
 check: lint test
 
@@ -16,6 +16,18 @@ lint:
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# worxsan runtime mode: a tier-1 subset re-run with WORXSAN=1, so every
+# published view is deep-frozen (any mutation raises) and annotated lock
+# checkpoints assert at runtime.  The subset covers the state store,
+# tooling gates, and the sanitizer's own end-to-end gateway run; suites
+# that drive GatewayState.refresh() by hand (without the slice lock)
+# stay in plain `make test` where the checkpoints are inactive.
+sanitize:
+	WORXSAN=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q \
+		tests/test_sanitizer.py tests/test_statestore.py \
+		tests/test_tooling.py tests/test_worxlint.py \
+		tests/test_worxsan.py
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -37,6 +37,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.core.server import ClusterWorXServer
 from repro.core.statestore import Snapshot
 from repro.remote.nodeset import NodeSet
+from repro.tooling.sanitizer import current_sanitizer
 
 __all__ = ["PublishedView", "GatewayState"]
 
@@ -81,22 +82,34 @@ class GatewayState:
         self.publish_reuses = 0
         #: (generation, folded nodeset) cache for the membership view.
         self._folded: Optional[Tuple[int, str]] = None
-        self.view: PublishedView = self._capture()
+        #: worxsan runtime hook; None (one pointer test per call) when
+        #: the sanitizer is off, which is the production configuration.
+        self._san = current_sanitizer()
+        with self.lock:
+            self.view: PublishedView = self._capture()
 
     # -- sim-thread side -----------------------------------------------------
-    def _capture(self) -> PublishedView:
+    def _capture(self) -> PublishedView:  # worx: holds lock
+        if self._san is not None:
+            self._san.assert_locked(self.lock, "GatewayState._capture")
         store = self.server.store
         summary = store.summary()
         summary["events_active"] = self.server.engine.active_count()
         summary["sim_time"] = round(self.server.kernel.now, 3)
-        return PublishedView(
+        view = PublishedView(
             snapshot=store.snapshot(),
             summary=summary,
             events=tuple(self.server.engine.active_events()),
             sim_time=self.server.kernel.now)
+        if self._san is not None:
+            self._san.freeze_view(view)
+            self._san.record("publish", f"gen={view.generation}")
+        return view
 
-    def refresh(self) -> PublishedView:
-        """Publish the current world.  **Sim thread only.**
+    def refresh(self) -> PublishedView:  # worx: holds lock
+        """Publish the current world.  **Sim thread only**, under the
+        slice lock (the driver holds it across the kernel step and
+        this publish).
 
         O(1) when nothing changed (the old view is republished) and
         O(1)+COW bookkeeping when it did — never a per-node scan, never
@@ -167,20 +180,28 @@ class GatewayState:
     def shards(self) -> List[Dict[str, object]]:
         """Per-shard control-plane rows; a flat server reports itself
         as a single synthetic shard so the endpoint shape is
-        topology-independent."""
-        stats = getattr(self.server, "shard_stats", None)
-        if stats is not None:
-            return stats()
-        view = self.view
-        return [{
-            "index": 0,
-            "name": "flat",
-            "active": True,
-            "nodes": len(view.hostnames),
-            "updates_received": self.server.updates_received,
-            "generation": view.generation,
-            "events_active": self.server.engine.active_count(),
-        }]
+        topology-independent.
+
+        This is a *cold* endpoint: the rows read live control-plane
+        counters (update totals, active-event counts), so it
+        serializes with the sim driver's slice lock like the other
+        cold paths — worxsan (WORX201/203) caught the original
+        lock-free version reading them mid-slice.
+        """
+        with self.lock:
+            stats = getattr(self.server, "shard_stats", None)
+            if stats is not None:
+                return stats()
+            view = self.view
+            return [{
+                "index": 0,
+                "name": "flat",
+                "active": True,
+                "nodes": len(view.hostnames),
+                "updates_received": self.server.updates_received,
+                "generation": view.generation,
+                "events_active": self.server.engine.active_count(),
+            }]
 
     # -- serving side, cold (serialized with the sim slice lock) -------------
     def history_graph(self, hostname: str, metric: str, *,

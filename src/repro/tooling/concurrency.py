@@ -1,0 +1,103 @@
+"""The declared concurrency contract of the ``repro`` codebase
+(WORX201–WORX205 — the worxsan rule family).
+
+Since the gateway (PR 6) the process hosts *real* threads: the sim
+driver advances the kernel in slices, the asyncio serving loop answers
+HTTP off published views, and the operator shell owns everything before
+and after.  The invariants that make that safe were prose until this
+module; now they are data the passes enforce:
+
+* :data:`CONTEXT_MAP` — which execution context each bridge function
+  runs in (WORX201 seeds; same-module call graphs propagate them).
+  Contexts: ``sim`` (the SimDriver thread), ``serving`` (the asyncio
+  loop thread), ``coroutine`` (async handlers — same thread as
+  ``serving``), ``shell`` (the operator's main thread).
+* :data:`SIM_OWNED` — per file, instance attributes that belong to the
+  simulation thread.  A serving-context function may touch them only
+  inside a ``with <lock>`` block (WORX201).
+* :data:`LOCK_GUARDED` — per file, attribute chains that must only be
+  accessed under the named lock (WORX203), or — with lock name ``""``
+  — replaced wholesale and never mutated in place (the federation
+  owner-map discipline).
+* :data:`SHARD_ROOTS` — path prefixes where the shard-ownership rule
+  (WORX205) applies: code there must never hand one shard's
+  server/store/engine to another shard or upward to core.
+* :data:`FROZEN_TYPES` / :data:`PUBLISHED_ATTRS` — the immutable-after-
+  publish value types and the attributes that hold them (WORX202 taint
+  roots).
+
+Keep this table in sync with the DESIGN.md "execution-context model"
+section when a thread boundary moves.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping
+
+__all__ = ["CONTEXT_MAP", "SIM_OWNED", "LOCK_GUARDED", "SHARD_ROOTS",
+           "FROZEN_TYPES", "PUBLISHED_ATTRS"]
+
+#: ``"rel/path.py"`` (every function in the file) or
+#: ``"rel/path.py::Qual.name"`` -> execution context.
+CONTEXT_MAP: Mapping[str, str] = {
+    # The sim driver thread: advances the kernel, publishes views,
+    # pushes watch deltas through the subscription bus.
+    "repro/gateway/shell.py::SimDriver.run": "sim",
+    "repro/gateway/state.py::GatewayState.refresh": "sim",
+    "repro/gateway/state.py::GatewayState._capture": "sim",
+    "repro/gateway/watch.py::WatchHub._on_update": "sim",
+    "repro/gateway/watch.py::WatchClient.push": "sim",
+    # The asyncio serving thread: hot endpoints off the frozen view,
+    # cold endpoints through the slice lock, watch-buffer drains.
+    "repro/gateway/routes.py": "serving",
+    "repro/gateway/state.py::GatewayState.summary": "serving",
+    "repro/gateway/state.py::GatewayState.host": "serving",
+    "repro/gateway/state.py::GatewayState.hostnames": "serving",
+    "repro/gateway/state.py::GatewayState.folded_hosts": "serving",
+    "repro/gateway/state.py::GatewayState.query": "serving",
+    "repro/gateway/state.py::GatewayState.active_events": "serving",
+    "repro/gateway/state.py::GatewayState.shards": "serving",
+    "repro/gateway/state.py::GatewayState.history_graph": "serving",
+    "repro/gateway/state.py::GatewayState.history_window": "serving",
+    "repro/gateway/state.py::GatewayState.event_log": "serving",
+    "repro/gateway/shell.py::GatewayService.stats_values": "serving",
+    "repro/gateway/watch.py::WatchClient.drain": "serving",
+    "repro/gateway/watch.py::WatchHub.register": "serving",
+    "repro/gateway/watch.py::WatchHub.unregister": "serving",
+    # The operator shell (main thread, before/after the driver runs).
+    "repro/cli.py": "shell",
+}
+
+#: per rel path: instance-attribute prefixes owned by the sim thread.
+SIM_OWNED: Mapping[str, FrozenSet[str]] = {
+    # Everything behind GatewayState.server is live simulation state;
+    # serving code reads the published view or takes the slice lock.
+    "repro/gateway/state.py": frozenset({"server"}),
+}
+
+#: per rel path: attribute chain -> guarding lock attribute ("" means
+#: replace-only: the structure is swapped wholesale, never mutated).
+LOCK_GUARDED: Mapping[str, Mapping[str, str]] = {
+    "repro/gateway/state.py": {
+        "server.store": "lock",
+        "server.engine": "lock",
+        "server.history": "lock",
+        "server.kernel": "lock",
+    },
+    # The owner map is read lock-free on the ingest hot path; safety
+    # rests on membership changes replacing the dict, never editing it.
+    "repro/federation/server.py": {"_owner": ""},
+}
+
+#: path prefixes whose code the shard-ownership rule (WORX205) covers.
+SHARD_ROOTS: FrozenSet[str] = frozenset({"repro/federation/"})
+
+#: value types that are immutable once published (WORX202 flags any
+#: mutation reachable from them; their own class bodies are exempt).
+FROZEN_TYPES: FrozenSet[str] = frozenset({
+    "PublishedView", "Snapshot", "FederatedSnapshot", "Update",
+    "Sample"})
+
+#: attribute names that hold the published view: reading ``<x>.view``
+#: (or calling ``<x>.snapshot()``) taints the result for WORX202.
+PUBLISHED_ATTRS: FrozenSet[str] = frozenset({"view"})

@@ -7,10 +7,23 @@ pass with :mod:`repro.tooling.registry`:
     WORX104  subscriber-safety  store callbacks must not re-enter mutators
     WORX105  api-surface     ``__all__`` resolves; imports use exports
     WORX106  handlers        no swallowed exceptions outside handler shells
+
+and the worxsan concurrency family:
+
+    WORX201  thread-discipline   cross-context access to mutable state
+    WORX202  snapshot-immutability  no mutation through published views
+    WORX203  lock-discipline     guarded state accessed outside its lock
+    WORX204  async-blocking      no blocking calls inside coroutines
+    WORX205  shard-ownership     shard organs never escape their owner
 """
 
-from repro.tooling.passes import (api_surface, determinism, encapsulation,
-                                  handlers, layering, subscribers)
+from repro.tooling.passes import (api_surface, async_blocking, determinism,
+                                  encapsulation, handlers, layering,
+                                  lock_discipline, shard_ownership,
+                                  snapshot_immutability, subscribers,
+                                  thread_context)
 
-__all__ = ["api_surface", "determinism", "encapsulation", "handlers",
-           "layering", "subscribers"]
+__all__ = ["api_surface", "async_blocking", "determinism",
+           "encapsulation", "handlers", "layering", "lock_discipline",
+           "shard_ownership", "snapshot_immutability", "subscribers",
+           "thread_context"]

@@ -1,0 +1,183 @@
+"""Shared machinery for the worxsan passes (WORX201-205).
+
+Private to ``repro.tooling.passes``: function indexing with dotted
+qualnames, execution-context seeding + same-module call-graph
+propagation, ``with <lock>`` scope tracking, and the attribute-chain
+helpers every concurrency rule needs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.tooling.parse import ParsedModule
+
+__all__ = ["FuncInfo", "attr_chain", "function_index", "seed_contexts",
+           "propagate_contexts", "is_lockish", "iter_with_lock",
+           "mutating_receiver", "MUT_METHODS"]
+
+#: in-place mutators on the builtin containers (dict/list/set).
+MUT_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "sort", "reverse"})
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNC_NODES + (ast.Lambda, ast.ClassDef)
+
+
+def attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``None`` for non-name chains
+    (anything routed through a call, subscript or literal)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+@dataclass
+class FuncInfo:
+    """One function (or method) found in a module."""
+
+    node: ast.AST                     #: the FunctionDef/AsyncFunctionDef
+    qualname: str                     #: ``Class.method`` / ``func``
+    class_name: Optional[str]         #: innermost enclosing class
+    is_async: bool
+    contexts: Set[str] = field(default_factory=set)
+
+
+def function_index(module: ParsedModule) -> Dict[str, FuncInfo]:
+    """Every function in the module keyed by dotted qualname."""
+    index: Dict[str, FuncInfo] = {}
+
+    def visit(node: ast.AST, stack: Tuple[str, ...],
+              class_name: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, stack + (child.name,), child.name)
+            elif isinstance(child, _FUNC_NODES):
+                qual = ".".join(stack + (child.name,))
+                index[qual] = FuncInfo(
+                    node=child, qualname=qual, class_name=class_name,
+                    is_async=isinstance(child, ast.AsyncFunctionDef))
+                visit(child, stack + (child.name,), class_name)
+            else:
+                visit(child, stack, class_name)
+
+    visit(module.tree, (), None)
+    return index
+
+
+def seed_contexts(module: ParsedModule, index: Dict[str, FuncInfo],
+                  contexts: Dict[str, str]) -> None:
+    """Apply the declarative context map: a bare ``rel.py`` key seeds
+    every function in the file, ``rel.py::Qual`` seeds one.  Async
+    functions additionally always run in the ``coroutine`` context."""
+    file_ctx = contexts.get(module.rel)
+    for info in index.values():
+        if file_ctx is not None:
+            info.contexts.add(file_ctx)
+        qual_ctx = contexts.get(f"{module.rel}::{info.qualname}")
+        if qual_ctx is not None:
+            info.contexts.add(qual_ctx)
+        if info.is_async:
+            info.contexts.add("coroutine")
+
+
+def _call_edges(index: Dict[str, FuncInfo]) -> Dict[str, Set[str]]:
+    """caller qualname -> callee qualnames, resolved same-module only:
+    bare-name calls to module-level functions and ``self.m()`` /
+    ``cls.m()`` calls to sibling methods."""
+    edges: Dict[str, Set[str]] = {qual: set() for qual in index}
+    for qual, info in index.items():
+        body = info.node
+        for node in iter_own_nodes(body):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in index:
+                edges[qual].add(func.id)
+            elif isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in ("self", "cls") \
+                    and info.class_name is not None:
+                callee = f"{info.class_name}.{func.attr}"
+                if callee in index:
+                    edges[qual].add(callee)
+    return edges
+
+
+def propagate_contexts(index: Dict[str, FuncInfo]) -> None:
+    """Flow contexts caller -> callee to a fixpoint: a helper invoked
+    from both the sim thread and a serving endpoint ends up carrying
+    both contexts, which is what WORX201 checks for."""
+    edges = _call_edges(index)
+    changed = True
+    while changed:
+        changed = False
+        for qual, callees in edges.items():
+            source = index[qual].contexts
+            if not source:
+                continue
+            for callee in callees:
+                target = index[callee].contexts
+                before = len(target)
+                target |= source
+                if len(target) != before:
+                    changed = True
+
+
+def is_lockish(expr: ast.AST) -> bool:
+    """Heuristic: the expression names a lock (``self.lock``,
+    ``self._lock``, ``state.sim_lock`` ... — last segment contains
+    ``lock``)."""
+    chain = attr_chain(expr)
+    return chain is not None and "lock" in chain[-1].lower()
+
+
+def iter_own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Every node lexically in ``func``'s body, *excluding* nested
+    function/class/lambda subtrees (those are scopes of their own)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_with_lock(func: ast.AST, *, initial: bool = False
+                   ) -> Iterator[Tuple[ast.AST, bool]]:
+    """Yield ``(node, locked)`` for every node lexically in ``func``
+    (nested scopes excluded), where ``locked`` is True inside a
+    ``with <lock>:`` block or when ``initial`` says the caller already
+    holds the lock (a ``# worx: holds`` annotation)."""
+
+    def visit(node: ast.AST, locked: bool) -> Iterator[
+            Tuple[ast.AST, bool]]:
+        for child in ast.iter_child_nodes(node):
+            child_locked = locked
+            if isinstance(child, (ast.With, ast.AsyncWith)) and any(
+                    is_lockish(item.context_expr)
+                    for item in child.items):
+                child_locked = True
+            yield child, child_locked
+            if not isinstance(child, _SCOPE_NODES):
+                yield from visit(child, child_locked)
+
+    yield from visit(func, initial)
+
+
+def mutating_receiver(node: ast.AST) -> Optional[ast.AST]:
+    """For a call of an in-place mutator (``x.y.append(v)``), the
+    receiver expression (``x.y``); ``None`` otherwise."""
+    if isinstance(node, ast.Call) \
+            and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in MUT_METHODS:
+        return node.func.value
+    return None

@@ -1,0 +1,105 @@
+"""WORX204 — no blocking calls inside coroutines.
+
+The gateway serves every client from one asyncio event loop; a single
+synchronous stall inside an ``async def`` handler freezes *all* of
+them (the E17 p99 lives and dies on this).  Flagged, lexically inside
+any ``async def`` (nested sync ``def`` bodies are their own scope and
+exempt — they run wherever they are called):
+
+* ``time.sleep(...)`` — use ``await asyncio.sleep(...)``;
+* synchronous ``open(...)`` — stage file work before serving starts
+  or push it to a thread;
+* a plain ``with <lock>:`` over a lock-named expression, or an
+  explicit ``<lock>.acquire()`` — taking the slice lock parks the
+  whole event loop behind the sim thread's current slice.  Cold
+  endpoints that genuinely need the lock belong in sync helpers the
+  handler calls out to (where WORX203 polices them), kept short.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.tooling.findings import Finding
+from repro.tooling.parse import ParsedModule
+from repro.tooling.registry import LintContext, LintPass, register
+from repro.tooling.passes._threads import (attr_chain, is_lockish,
+                                           iter_own_nodes)
+
+__all__ = ["AsyncBlockingPass"]
+
+
+def _sleep_bindings(tree: ast.Module) -> "tuple[Set[str], Set[str]]":
+    """(names bound to the time module, names bound to time.sleep)."""
+    time_mods: Set[str] = set()
+    direct: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".", 1)[0] == "time":
+                    time_mods.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        direct.add(alias.asname or alias.name)
+    return time_mods, direct
+
+
+@register
+class AsyncBlockingPass(LintPass):
+    rule_id = "WORX204"
+    title = "blocking call inside an async handler"
+    severity = "error"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        for module in ctx.modules:
+            time_mods, direct_sleep = _sleep_bindings(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_coroutine(
+                        module, node, time_mods, direct_sleep)
+
+    def _check_coroutine(self, module: ParsedModule,
+                         func: ast.AsyncFunctionDef,
+                         time_mods: Set[str],
+                         direct_sleep: Set[str]) -> Iterator[Finding]:
+        name = func.name
+        for node in iter_own_nodes(func):
+            if isinstance(node, ast.With):
+                if any(is_lockish(item.context_expr)
+                       for item in node.items):
+                    yield self.finding(
+                        module, node,
+                        f"coroutine '{name}' takes a lock with a "
+                        f"blocking 'with': this parks the event loop "
+                        f"behind the sim thread's slice")
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if isinstance(node.func, ast.Name):
+                if node.func.id in direct_sleep:
+                    yield self.finding(
+                        module, node,
+                        f"coroutine '{name}' calls time.sleep: use "
+                        f"'await asyncio.sleep(...)'")
+                elif node.func.id == "open":
+                    yield self.finding(
+                        module, node,
+                        f"coroutine '{name}' does synchronous file "
+                        f"I/O (open): stage it before serving or "
+                        f"move it off the loop")
+            elif chain is not None and len(chain) == 2 \
+                    and chain[0] in time_mods and chain[1] == "sleep":
+                yield self.finding(
+                    module, node,
+                    f"coroutine '{name}' calls time.sleep: use "
+                    f"'await asyncio.sleep(...)'")
+            elif chain is not None and chain[-1] == "acquire" \
+                    and is_lockish(node.func.value):
+                yield self.finding(
+                    module, node,
+                    f"coroutine '{name}' acquires a lock "
+                    f"synchronously: this blocks the event loop")

@@ -1,0 +1,133 @@
+"""WORX203 — lock discipline.
+
+Some state is protected by a *named lock* (the gateway's slice lock
+serializes cold endpoints against the sim driver's kernel steps); some
+is protected by a *replace-only* convention (the federation owner map
+is swapped wholesale so lock-free readers never see a half-applied
+rebalance).  Both disciplines live in ``LintConfig.lock_guarded``:
+
+* ``{"server.store": "lock"}`` — any access to ``self.server.store...``
+  in that file must sit inside ``with self.lock:`` (or any ``with``
+  over a lock-named expression), or in a function whose ``def`` line
+  carries the interprocedural annotation ``# worx: holds lock`` —
+  a machine-checked claim that every caller owns the lock (the runtime
+  sanitizer asserts it when enabled).
+* ``{"_owner": ""}`` — the chain may be read freely and *rebound*
+  wholesale, but never mutated in place: no subscript stores, no
+  ``del``, no ``.update()``/``.pop()``/... (``__init__`` is exempt —
+  the object is not shared while being built).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping, Optional, Set, Tuple
+
+from repro.tooling.findings import Finding
+from repro.tooling.parse import ParsedModule
+from repro.tooling.registry import LintContext, LintPass, register
+from repro.tooling.passes._threads import (attr_chain, function_index,
+                                           iter_with_lock,
+                                           mutating_receiver)
+
+__all__ = ["LockDisciplinePass"]
+
+
+def _match(chain, prefix: str) -> bool:
+    """Does ``self.<rest>`` fall under the guarded ``prefix``?"""
+    if chain is None or not chain or chain[0] != "self":
+        return False
+    rest = ".".join(chain[1:])
+    return rest == prefix or rest.startswith(prefix + ".")
+
+
+@register
+class LockDisciplinePass(LintPass):
+    rule_id = "WORX203"
+    title = "guarded state accessed outside its lock discipline"
+    severity = "error"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        guarded_map = ctx.config.lock_guarded
+        if not guarded_map:
+            return
+        for module in ctx.modules:
+            guarded = guarded_map.get(module.rel)
+            if guarded:
+                yield from self._check_module(module, guarded)
+
+    def _check_module(self, module: ParsedModule,
+                      guarded: Mapping[str, str]) -> Iterator[Finding]:
+        locked_chains = {p: l for p, l in guarded.items() if l}
+        replace_only = [p for p, l in guarded.items() if not l]
+        for info in function_index(module).values():
+            name = info.qualname.rsplit(".", 1)[-1]
+            if locked_chains:
+                yield from self._check_locked(module, info,
+                                              locked_chains)
+            if replace_only and name != "__init__":
+                yield from self._check_replace_only(module, info,
+                                                    replace_only)
+
+    # -- named-lock chains ---------------------------------------------------
+    def _check_locked(self, module: ParsedModule, info,
+                      locked_chains: Mapping[str, str]
+                      ) -> Iterator[Finding]:
+        held: Optional[str] = module.held_lock(info.node)
+        seen: Set[Tuple[int, str]] = set()
+        for node, locked in iter_with_lock(info.node):
+            if locked or not isinstance(node, ast.Attribute):
+                continue
+            chain = attr_chain(node)
+            for prefix, lock in locked_chains.items():
+                if not _match(chain, prefix):
+                    continue
+                if held == lock:
+                    break  # annotated: every caller holds the lock
+                key = (node.lineno, prefix)
+                if key not in seen:
+                    seen.add(key)
+                    yield self.finding(
+                        module, node,
+                        f"'{info.qualname}' accesses guarded state "
+                        f"'self.{prefix}' outside 'with self.{lock}:' "
+                        f"(annotate '# worx: holds {lock}' only if "
+                        f"every caller provably holds it)")
+                break
+
+    # -- replace-only chains -------------------------------------------------
+    def _check_replace_only(self, module: ParsedModule, info,
+                            prefixes) -> Iterator[Finding]:
+        for node, _locked in iter_with_lock(info.node):
+            offender = self._in_place_mutation(node, prefixes)
+            if offender is not None:
+                yield self.finding(
+                    module, node,
+                    f"'{info.qualname}' mutates replace-only state "
+                    f"'self.{offender}' in place — copy, edit, and "
+                    f"rebind wholesale so lock-free readers never see "
+                    f"a half-applied change")
+
+    def _in_place_mutation(self, node: ast.AST,
+                           prefixes) -> Optional[str]:
+        targets = []
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            node_targets = (node.targets if isinstance(node, ast.Assign)
+                            else [node.target])
+            for target in node_targets:
+                if isinstance(target, ast.Subscript):
+                    targets.append(target.value)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    targets.append(target.value)
+        else:
+            receiver = mutating_receiver(node)
+            if receiver is not None:
+                targets.append(receiver)
+        for target in targets:
+            chain = attr_chain(target)
+            for prefix in prefixes:
+                if _match(chain, prefix):
+                    return prefix
+        return None

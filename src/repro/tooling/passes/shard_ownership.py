@@ -1,0 +1,177 @@
+"""WORX205 — shard-ownership escape.
+
+The federation's scaling argument (PR 7) is *exclusive* ownership:
+each shard's ``ClusterWorXServer`` — and the store, history, engine,
+health tracker and recovery orchestrator hanging off it — is touched
+by that shard alone.  Rebalancing migrates *data* (copied values,
+exported series), never live organs; the moment shard B holds a
+reference into shard A's server, every per-shard invariant (rollup
+cache coherence, subscriber bookkeeping, owner-map routing) silently
+dies.
+
+Within the configured ``LintConfig.shard_roots`` path prefixes,
+flagged:
+
+* **handing an organ across**: calling through one base's ``.server``
+  with an argument that is another base's raw ``.server`` /
+  ``.server.<organ>`` chain (or a local alias of one) —
+  ``target.server.adopt(source.server.store)``.  Call *results* are
+  clean: ``dict(source.store.get(h))`` and ``history.export_host(h)``
+  are the sanctioned copy-out migration idiom.
+* **storing a foreign organ**: assigning such a chain onto an object
+  attribute (``self.fast_path = shard.server.store``).
+* **returning a raw organ** from a public function/method — federated
+  views merge *data* at the edge; they do not leak live sub-servers.
+  (Deeper chains — ``shard.server.engine.rules`` — read attributes
+  *of* an organ and are not escapes of the organ itself.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.tooling.findings import Finding
+from repro.tooling.parse import ParsedModule
+from repro.tooling.registry import LintContext, LintPass, register
+from repro.tooling.passes._threads import attr_chain, iter_own_nodes
+
+__all__ = ["ShardOwnershipPass"]
+
+#: the per-shard sub-servers whose escape breaks exclusive ownership.
+_ORGANS = frozenset({"store", "history", "engine", "health", "recovery"})
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _organ_chain(chain) -> bool:
+    """Is this chain exactly ``X...server`` or ``X...server.<organ>``?
+    (the raw handle — deeper chains read an organ's attributes)."""
+    if chain is None or "server" not in chain[1:]:
+        return False
+    i = chain.index("server", 1)
+    if len(chain) == i + 1:
+        return True
+    return len(chain) == i + 2 and chain[i + 1] in _ORGANS
+
+
+def _root(chain) -> Optional[str]:
+    return chain[0] if chain else None
+
+
+@register
+class ShardOwnershipPass(LintPass):
+    rule_id = "WORX205"
+    title = "one shard's server/organs handed outside its owner"
+    severity = "error"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        roots = ctx.config.shard_roots
+        if not roots:
+            return
+        for module in ctx.modules:
+            if any(module.rel.startswith(prefix) for prefix in roots):
+                yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, _FUNC_NODES):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: ParsedModule,
+                        func: ast.AST) -> Iterator[Finding]:
+        #: local names aliasing some base's raw organ: name -> base.
+        aliases = {}
+        public = not func.name.startswith("_")
+        for stmt in _stmts_in_order(func):
+            # track simple aliases first: ``store = shard.server.store``
+            if isinstance(stmt, ast.Assign) \
+                    and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                chain = attr_chain(stmt.value)
+                if _organ_chain(chain):
+                    aliases[stmt.targets[0].id] = chain[0]
+                else:
+                    aliases.pop(stmt.targets[0].id, None)
+            yield from self._check_stmt(module, func, stmt, aliases,
+                                        public)
+
+    def _check_stmt(self, module: ParsedModule, func: ast.AST,
+                    stmt: ast.stmt, aliases, public: bool
+                    ) -> Iterator[Finding]:
+        # rule: storing a foreign organ on an object attribute
+        if isinstance(stmt, ast.Assign):
+            chain = attr_chain(stmt.value)
+            if _organ_chain(chain) or (
+                    isinstance(stmt.value, ast.Name)
+                    and stmt.value.id in aliases):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Attribute):
+                        yield self.finding(
+                            module, stmt,
+                            f"'{func.name}' stores a live shard organ "
+                            f"('{_render(stmt.value)}') on an object: "
+                            f"shard servers are owned exclusively — "
+                            f"copy the data out instead")
+        # rule: returning a raw organ from a public function
+        if public and isinstance(stmt, ast.Return) \
+                and stmt.value is not None:
+            chain = attr_chain(stmt.value)
+            if _organ_chain(chain):
+                yield self.finding(
+                    module, stmt,
+                    f"public '{func.name}' returns the raw shard organ "
+                    f"'{_render(stmt.value)}': merge/copy the data at "
+                    f"the edge instead of leaking the live handle")
+        # rule: passing one shard's organ into another shard's server
+        # (scan only this statement's own expressions — nested
+        # statements are visited on their own turn)
+        for node in _own_calls(stmt):
+            recv_chain = attr_chain(node.func)
+            if recv_chain is None or "server" not in recv_chain[1:]:
+                continue
+            recv_root = _root(recv_chain)
+            for arg in list(node.args) + [kw.value
+                                          for kw in node.keywords]:
+                arg_chain = attr_chain(arg)
+                arg_root = None
+                if _organ_chain(arg_chain):
+                    arg_root = _root(arg_chain)
+                elif isinstance(arg, ast.Name) and arg.id in aliases:
+                    arg_root = aliases[arg.id]
+                if arg_root is not None and arg_root != recv_root:
+                    yield self.finding(
+                        module, node,
+                        f"'{func.name}' hands '{arg_root}'-owned live "
+                        f"state into '{recv_root}'s server: shards "
+                        f"never share organs — migrate copied data "
+                        f"(dict(...) / export_host) instead")
+
+
+def _own_calls(stmt: ast.stmt):
+    """Call nodes in this statement's immediate expressions (the header
+    of a compound statement counts; its nested statements do not)."""
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            for node in ast.walk(child):
+                if isinstance(node, ast.Call):
+                    yield node
+        elif isinstance(child, (ast.withitem, ast.keyword)):
+            for node in ast.walk(child):
+                if isinstance(node, ast.Call):
+                    yield node
+
+
+def _stmts_in_order(func: ast.AST):
+    """Statements lexically in ``func``, nested scopes excluded,
+    source order (so alias tracking sees definitions first)."""
+    out = []
+    for node in iter_own_nodes(func):
+        if isinstance(node, ast.stmt):
+            out.append(node)
+    return sorted(out, key=lambda n: (n.lineno, n.col_offset))
+
+
+def _render(node: ast.AST) -> str:
+    chain = attr_chain(node)
+    return ".".join(chain) if chain else "<expr>"

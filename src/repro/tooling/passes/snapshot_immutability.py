@@ -1,0 +1,248 @@
+"""WORX202 — snapshot immutability.
+
+The zero-copy serving story (E14/E17) rests on one invariant: once a
+view is *published* — stored as ``<x>.view``, returned by
+``store.snapshot()``, or received as a frozen record — nobody mutates
+anything reachable from it.  The COW store forks on write precisely so
+readers never need a lock; a single in-place edit of a published dict
+reintroduces the race the whole design exists to remove.
+
+This is a per-function forward dataflow pass.  Taint roots:
+
+* reads of a published attribute (``state.view`` — names listed in
+  ``LintConfig.published_attrs``);
+* results of ``<x>.snapshot()`` calls;
+* parameters annotated with a frozen type (``update: Update``).
+
+Taint follows attribute access, subscripts and view-returning methods
+(``.items()``/``.values()``/``.keys()``/``.get()``); any other call
+breaks it (``dict(view.summary)`` is the sanctioned copy-out idiom),
+and rebinding a name to an untainted value clears it.  Flagged: any
+attribute store, subscript store, deletion or in-place mutator call
+whose target passes *through* a tainted value.  Rebinding the
+published slot itself (``self.view = fresh``) stays legal — that is
+the atomic publish.
+
+Class bodies of the frozen types themselves (``LintConfig.
+frozen_types``) are exempt: ``PublishedView.__init__`` is allowed to
+build the object it will later freeze.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.tooling.findings import Finding
+from repro.tooling.parse import ParsedModule
+from repro.tooling.registry import LintContext, LintPass, register
+from repro.tooling.passes._threads import MUT_METHODS, attr_chain
+
+__all__ = ["SnapshotImmutabilityPass"]
+
+#: methods that return live views of their receiver (taint flows through).
+_VIEW_METHODS = frozenset({"items", "values", "keys", "get"})
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1].strip("'\" ")
+    if isinstance(node, ast.Subscript):  # Optional[Update] etc.
+        return _annotation_name(node.slice)
+    return None
+
+
+class _FunctionTaint:
+    """Forward taint walk over one function body, source order."""
+
+    def __init__(self, lint_pass: "SnapshotImmutabilityPass",
+                 module: ParsedModule, func: ast.AST,
+                 published: frozenset, frozen: frozenset):
+        self.lint_pass = lint_pass
+        self.module = module
+        self.published = published
+        self.frozen = frozen
+        self.tainted: Set[str] = set()
+        self.findings: List[Finding] = []
+        args = func.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            if _annotation_name(arg.annotation) in frozen:
+                self.tainted.add(arg.arg)
+
+    # -- taint queries -------------------------------------------------------
+    def is_tainted(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Attribute):
+            if node.attr in self.published:
+                return True
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "snapshot":
+                return True
+            if node.func.attr in _VIEW_METHODS:
+                return self.is_tainted(node.func.value)
+        return False
+
+    def _describe(self, node: ast.AST) -> str:
+        chain = attr_chain(node)
+        return "'%s'" % ".".join(chain) if chain else "a published value"
+
+    def _flag(self, node: ast.AST, what: str, via: ast.AST) -> None:
+        self.findings.append(self.lint_pass.finding(
+            self.module, node,
+            f"{what} reachable from published/frozen value "
+            f"{self._describe(via)}: snapshots are immutable after "
+            f"publish — copy out (dict(...)) before editing"))
+
+    # -- expression scan: mutator calls anywhere in an expression ------------
+    def _scan_expr(self, expr: Optional[ast.AST]) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUT_METHODS \
+                    and self.is_tainted(node.func.value):
+                self._flag(node, f"in-place .{node.func.attr}() call",
+                           node.func.value)
+
+    # -- binding updates -----------------------------------------------------
+    def _bind(self, target: ast.AST, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, tainted)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tainted)
+
+    # -- statement walk ------------------------------------------------------
+    def visit_body(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, _FUNC_NODES + (ast.ClassDef, ast.Lambda)):
+            return  # separate scope, analyzed on its own
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value)
+            for target in stmt.targets:
+                self._check_store(target)
+            tainted = self.is_tainted(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, tainted)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._scan_expr(stmt.value)
+            if stmt.value is not None:
+                self._check_store(stmt.target)
+                self._bind(stmt.target, self.is_tainted(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._scan_expr(stmt.value)
+            self._check_store(stmt.target, augmented=True)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._check_store(target, deleting=True)
+        elif isinstance(stmt, ast.Expr):
+            self._scan_expr(stmt.value)
+        elif isinstance(stmt, (ast.Return, ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                self._scan_expr(child)
+        elif isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test)
+            self.visit_body(stmt.body)
+            self.visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.While,)):
+            self._scan_expr(stmt.test)
+            self.visit_body(stmt.body)
+            self.visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter)
+            self._bind(stmt.target, self.is_tainted(stmt.iter))
+            self.visit_body(stmt.body)
+            self.visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars,
+                               self.is_tainted(item.context_expr))
+            self.visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self.visit_body(handler.body)
+            self.visit_body(stmt.orelse)
+            self.visit_body(stmt.finalbody)
+
+    def _check_store(self, target: ast.AST, *, augmented: bool = False,
+                     deleting: bool = False) -> None:
+        """A store/delete through a tainted base is a mutation of the
+        published object; rebinding a *name* (or a fresh attribute on an
+        untainted base) is not."""
+        if isinstance(target, ast.Attribute):
+            if self.is_tainted(target.value):
+                kind = ("augmented attribute store" if augmented else
+                        "attribute deletion" if deleting else
+                        "attribute store")
+                self._flag(target, kind, target.value)
+        elif isinstance(target, ast.Subscript):
+            if self.is_tainted(target.value):
+                kind = ("augmented subscript store" if augmented else
+                        "entry deletion" if deleting else
+                        "subscript store")
+                self._flag(target, kind, target.value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt, augmented=augmented,
+                                  deleting=deleting)
+
+
+@register
+class SnapshotImmutabilityPass(LintPass):
+    rule_id = "WORX202"
+    title = "published snapshots/views are immutable"
+    severity = "error"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        published = ctx.config.published_attrs
+        frozen = ctx.config.frozen_types
+        for module in ctx.modules:
+            yield from self._check_module(module, published, frozen)
+
+    def _check_module(self, module: ParsedModule, published: frozenset,
+                      frozen: frozenset) -> Iterator[Finding]:
+        for func, owner_class in _functions_with_class(module.tree):
+            if owner_class in frozen:
+                continue  # the frozen type may build itself
+            taint = _FunctionTaint(self, module, func, published, frozen)
+            taint.visit_body(func.body)
+            yield from iter(taint.findings)
+
+
+def _functions_with_class(tree: ast.Module):
+    """Every (function node, innermost class name) pair in the module."""
+
+    def visit(node: ast.AST, class_name: Optional[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            elif isinstance(child, _FUNC_NODES):
+                yield child, class_name
+                yield from visit(child, class_name)
+            else:
+                yield from visit(child, class_name)
+
+    yield from visit(tree, None)

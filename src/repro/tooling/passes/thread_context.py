@@ -1,0 +1,152 @@
+"""WORX201 — thread discipline.
+
+The gateway era gave the process real concurrent threads: the sim
+driver advances the kernel and publishes views, the asyncio serving
+loop answers HTTP, the operator shell brackets both.  Which context a
+function runs in is declared in ``LintConfig.contexts`` (see
+``repro.tooling.concurrency`` for the repo's own map) and propagated
+along the same-module call graph: a helper called from both a sim-side
+and a serving-side function carries *both* contexts.
+
+Flagged:
+
+* a function reachable from **both** the sim thread and the serving
+  thread that mutates shared state non-atomically outside a
+  ``with <lock>`` block — augmented assignment on attributes,
+  subscript stores into attribute-held containers, in-place mutator
+  calls (``.append``/``.update``/...) on attribute-held receivers.  A
+  plain single attribute rebind (``self.view = v``) stays legal: that
+  is the sanctioned atomic-publish idiom.
+* a **serving-only** function touching instance state the config
+  declares sim-owned (``LintConfig.sim_owned`` attribute prefixes)
+  outside a lock.  Serving code reads the published view or takes the
+  slice lock; it never peeks at live simulation objects bare.
+
+A ``# worx: holds <lock>`` annotation on the ``def`` line marks the
+whole body as lock-protected (the caller acquired it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.tooling.findings import Finding
+from repro.tooling.parse import ParsedModule
+from repro.tooling.registry import LintContext, LintPass, register
+from repro.tooling.passes._threads import (FuncInfo, attr_chain,
+                                           function_index, iter_with_lock,
+                                           mutating_receiver,
+                                           propagate_contexts,
+                                           seed_contexts)
+
+__all__ = ["ThreadDisciplinePass"]
+
+#: execution context -> OS thread it runs on (coroutines share the
+#: serving loop's thread).
+_THREAD_OF = {"sim": "sim", "serving": "serve", "coroutine": "serve",
+              "shell": "shell"}
+
+
+def _threads(info: FuncInfo) -> Set[str]:
+    return {_THREAD_OF[c] for c in info.contexts if c in _THREAD_OF}
+
+
+def _contains_attribute(node: ast.AST) -> bool:
+    return any(isinstance(n, ast.Attribute) for n in ast.walk(node))
+
+
+@register
+class ThreadDisciplinePass(LintPass):
+    rule_id = "WORX201"
+    title = "cross-thread access to non-published mutable state"
+    severity = "error"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        contexts = dict(ctx.config.contexts)
+        sim_owned = ctx.config.sim_owned
+        if not contexts and not sim_owned:
+            return
+        for module in ctx.modules:
+            yield from self._check_module(module, contexts,
+                                          sim_owned.get(module.rel))
+
+    def _check_module(self, module: ParsedModule,
+                      contexts: Dict[str, str],
+                      owned) -> Iterator[Finding]:
+        index = function_index(module)
+        seed_contexts(module, index, contexts)
+        propagate_contexts(index)
+        for info in index.values():
+            threads = _threads(info)
+            if {"sim", "serve"} <= threads:
+                yield from self._check_conflict(module, info)
+            elif "serve" in threads and "sim" not in threads and owned:
+                yield from self._check_sim_owned(module, info, owned)
+
+    # -- a function both threads run must mutate atomically ------------------
+    def _check_conflict(self, module: ParsedModule,
+                        info: FuncInfo) -> Iterator[Finding]:
+        held = module.held_lock(info.node) is not None
+        for node, locked in iter_with_lock(info.node, initial=held):
+            if locked:
+                continue
+            offender = self._nonatomic_mutation(node)
+            if offender is not None:
+                yield self.finding(
+                    module, node,
+                    f"function '{info.qualname}' runs on both the sim "
+                    f"and serving threads but mutates {offender} "
+                    f"non-atomically outside a lock")
+
+    def _nonatomic_mutation(self, node: ast.AST):
+        """A description of the shared-state mutation, or ``None``."""
+        if isinstance(node, ast.AugAssign) \
+                and _contains_attribute(node.target):
+            chain = attr_chain(node.target)
+            return "'%s'" % ".".join(chain) if chain \
+                else "an attribute-held value"
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and _contains_attribute(target.value):
+                    chain = attr_chain(target.value)
+                    return ("an entry of '%s'" % ".".join(chain)
+                            if chain else "an attribute-held container")
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and _contains_attribute(target.value):
+                    return "an attribute-held container"
+        receiver = mutating_receiver(node)
+        if receiver is not None:
+            chain = attr_chain(receiver)
+            if chain is not None and len(chain) >= 2:
+                return "'%s'" % ".".join(chain)
+        return None
+
+    # -- serving-only code must not touch sim-owned attributes ---------------
+    def _check_sim_owned(self, module: ParsedModule, info: FuncInfo,
+                         owned) -> Iterator[Finding]:
+        held = module.held_lock(info.node) is not None
+        seen: Set[Tuple[int, str]] = set()
+        for node, locked in iter_with_lock(info.node, initial=held):
+            if locked or not isinstance(node, ast.Attribute):
+                continue
+            chain = attr_chain(node)
+            if chain is None or chain[0] != "self":
+                continue
+            rest = ".".join(chain[1:])
+            for prefix in owned:
+                if rest == prefix or rest.startswith(prefix + "."):
+                    key = (node.lineno, prefix)
+                    if key in seen:
+                        break
+                    seen.add(key)
+                    yield self.finding(
+                        module, node,
+                        f"serving-context function '{info.qualname}' "
+                        f"touches sim-owned state 'self.{prefix}' "
+                        f"without holding the slice lock — read the "
+                        f"published view or take the lock")
+                    break

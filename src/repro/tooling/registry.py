@@ -46,6 +46,33 @@ class LintConfig:
     baseline: Optional[Path] = None
     #: run only these rule ids (``None`` = every registered pass).
     rules: Optional[FrozenSet[str]] = None
+    # -- worxsan concurrency policy (WORX201-205) ---------------------------
+    #: ``"rel/path.py"`` or ``"rel/path.py::Qual.name"`` -> execution
+    #: context (``sim`` / ``serving`` / ``coroutine`` / ``shell``) — the
+    #: WORX201 seeds that call-graph propagation grows from.
+    contexts: Mapping[str, str] = field(default_factory=dict)
+    #: per rel path: ``self.``-rooted attribute prefixes owned by the
+    #: sim thread; serving code may touch them only under a lock.
+    sim_owned: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+    #: per rel path: attribute chain -> guarding lock name (WORX203);
+    #: the empty string means replace-only (swap, never mutate in place).
+    lock_guarded: Mapping[str, Mapping[str, str]] = field(
+        default_factory=dict)
+    #: class names that are immutable once published (WORX202 taint).
+    frozen_types: FrozenSet[str] = frozenset(
+        {"PublishedView", "Snapshot"})
+    #: attribute names whose read yields a published (frozen) value.
+    published_attrs: FrozenSet[str] = frozenset({"view"})
+    #: rel-path prefixes where shard-ownership isolation (WORX205) holds.
+    shard_roots: FrozenSet[str] = frozenset()
+    # -- run mechanics ------------------------------------------------------
+    #: bypass the parsed-module cache (``--no-cache``).
+    no_cache: bool = False
+    #: optional pickle file persisting the parse cache across runs.
+    cache_path: Optional[Path] = None
+    #: when set, only findings in these rel paths are reported (the
+    #: whole tree is still parsed — passes are whole-program).
+    only_paths: Optional[FrozenSet[str]] = None
 
 
 class LintContext:

@@ -8,16 +8,25 @@ pass, then partitions the raw findings three ways:
 * **baselined** — its ``rule:path:line`` key is grandfathered in the
   committed baseline file;
 * **active** — everything else; any active finding fails the gate.
+
+Two run-mechanics knobs ride on the config: the parsed-module cache
+(unchanged files skip re-parsing across runs; ``no_cache`` bypasses
+it) and ``only_paths`` (``repro-cli lint --changed``) which still
+parses the whole tree — the passes are whole-program — but reports
+findings only for the named files.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Set
 
 from repro.tooling.findings import Finding, write_baseline
 from repro.tooling.layers import LAYER_MAP
+from repro.tooling.concurrency import (CONTEXT_MAP, FROZEN_TYPES,
+                                       LOCK_GUARDED, PUBLISHED_ATTRS,
+                                       SHARD_ROOTS, SIM_OWNED)
 from repro.tooling.parse import parse_tree
 from repro.tooling.registry import LintConfig, LintContext, get_passes
 
@@ -65,21 +74,35 @@ class LintResult:
 
 def default_config(root: Optional[Path] = None, *,
                    baseline: Optional[Path] = None,
-                   rules: Optional[Set[str]] = None) -> LintConfig:
+                   rules: Optional[Set[str]] = None,
+                   no_cache: bool = False,
+                   only_paths: Optional[Set[str]] = None) -> LintConfig:
     """The repo's own policy: the ``repro`` layer map, ``cli.py`` and
-    the gateway's serving shell as the only wall-clock modules, and the
-    committed baseline beside ``src/``."""
+    the gateway's serving shell as the only wall-clock modules, the
+    concurrency contract from :mod:`repro.tooling.concurrency`, and
+    the committed baseline beside ``src/``."""
     if root is None:
         root = Path(__file__).resolve().parents[2]
     if baseline is None:
         candidate = root.parent / "worxlint.baseline"
         baseline = candidate if candidate.is_file() else None
+    cache_path = root.parent / ".worxlint.cache"
     return LintConfig(root=root, package="repro", layers=dict(LAYER_MAP),
                       determinism_shell=frozenset(
                           {"repro/cli.py", "repro/gateway/shell.py"}),
                       handler_shells=frozenset(),
                       baseline=baseline,
-                      rules=frozenset(rules) if rules else None)
+                      rules=frozenset(rules) if rules else None,
+                      contexts=dict(CONTEXT_MAP),
+                      sim_owned=dict(SIM_OWNED),
+                      lock_guarded=dict(LOCK_GUARDED),
+                      frozen_types=FROZEN_TYPES,
+                      published_attrs=PUBLISHED_ATTRS,
+                      shard_roots=SHARD_ROOTS,
+                      no_cache=no_cache,
+                      cache_path=cache_path,
+                      only_paths=(frozenset(only_paths)
+                                  if only_paths is not None else None))
 
 
 def _load_baseline_keys(config: LintConfig) -> Set[str]:
@@ -91,17 +114,21 @@ def _load_baseline_keys(config: LintConfig) -> Set[str]:
 
 def run_lint(config: LintConfig) -> LintResult:
     """Parse once, run the selected passes, partition the findings."""
-    modules = parse_tree(config.root)
+    modules = parse_tree(config.root, use_cache=not config.no_cache,
+                         cache_path=config.cache_path)
     ctx = LintContext(config, modules)
     by_rel = {m.rel: m for m in modules}
     baseline_keys = _load_baseline_keys(config)
     passes = get_passes(config.rules)
+    only = config.only_paths
 
     active: List[Finding] = []
     suppressed: List[Finding] = []
     baselined: List[Finding] = []
     for lint_pass in passes:
         for finding in lint_pass.run(ctx):
+            if only is not None and finding.path not in only:
+                continue
             module = by_rel.get(finding.path)
             if module is not None and module.suppresses(
                     finding.line, finding.rule_id):
@@ -122,12 +149,10 @@ def refresh_baseline(config: LintConfig, path: Path) -> LintResult:
 
     Prefer fixing or pragma-annotating findings; the baseline is for
     landing a new rule before the tree is clean, not for hiding debt.
+    The refresh runs the *full* tree (``only_paths`` cleared): a
+    baseline built from a partial view would silently drop every key
+    outside it.
     """
-    no_baseline = LintConfig(
-        root=config.root, package=config.package, layers=config.layers,
-        determinism_shell=config.determinism_shell,
-        handler_shells=config.handler_shells, baseline=None,
-        rules=config.rules)
-    result = run_lint(no_baseline)
+    result = run_lint(replace(config, baseline=None, only_paths=None))
     write_baseline(path, result.findings)
     return result

@@ -1,0 +1,8 @@
+"""Shard rebalance helper: planted WORX205 (the fixture policy puts
+``acme/fed/`` under shard-ownership isolation)."""
+
+
+def rebalance(first, second):
+    for node in first.managed():
+        second.server.track(node)
+    second.server.adopt(first.server.store)  # WORX205: organ escape

@@ -1,0 +1,8 @@
+"""Async serving handler: planted WORX204."""
+
+import time
+
+
+async def handle(request):
+    time.sleep(0.1)  # WORX204: blocks the event loop
+    return request

@@ -1,0 +1,27 @@
+"""Serving-side bridge: planted WORX201, WORX202 and WORX203.
+
+The fixture policy (see tests/test_worxlint.py) declares
+``ServingState.stats`` serving-context, ``server.engine`` sim-owned,
+and ``server.history`` guarded by ``lock``.
+"""
+
+
+class ServingState:
+    def __init__(self, server, lock):
+        self.server = server
+        self.lock = lock
+        self.view = server.capture()
+
+    def refresh(self):  # worx: holds lock
+        self.view = self.server.capture()
+
+    def stats(self):
+        return self.server.engine.count()  # WORX201: sim-owned, no lock
+
+    def summary(self):
+        view = self.view
+        view.summary["served"] = True  # WORX202: mutates published view
+        return view.summary
+
+    def history(self, host):
+        return self.server.history.window(host)  # WORX203: lock-free

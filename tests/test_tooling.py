@@ -25,14 +25,34 @@ def test_worxlint_gate():
     """Zero non-baselined findings across every WORX rule.
 
     This is the tier-1 architectural gate: the layer DAG, SimKernel
-    determinism, encapsulation, subscriber safety, and the exported API
-    surface are all machine-checked on every test run.
+    determinism, encapsulation, subscriber safety, the exported API
+    surface, and (since worxsan) the concurrency contracts — thread
+    discipline, snapshot immutability, lock discipline, non-blocking
+    coroutines, shard ownership — are machine-checked on every run.
     """
     result = run_lint(default_config(root=SRC))
     assert result.ok, (
         "worxlint found violations (fix them, or annotate an "
         "intentional exception with `# worx: ok RULE` plus a "
         "justification comment):\n" + _render(result.findings))
+    # the full family runs: six WORX1xx rules + five WORX2xx rules
+    assert [r for r in result.rules if r.startswith("WORX2")] == \
+        ["WORX201", "WORX202", "WORX203", "WORX204", "WORX205"]
+
+
+def test_worxsan_gate_runs_with_repo_policy():
+    """The WORX2xx rules run against the repo's declared concurrency
+    contract (repro.tooling.concurrency) and hold clean — pre-existing
+    violations were fixed, not grandfathered (the shards() endpoint
+    read live counters lock-free before this gate existed)."""
+    config = default_config(
+        root=SRC, rules={"WORX201", "WORX202", "WORX203", "WORX204",
+                         "WORX205"})
+    assert config.contexts and config.sim_owned and \
+        config.lock_guarded and config.shard_roots
+    result = run_lint(config)
+    assert result.ok, (
+        "worxsan concurrency violations:\n" + _render(result.findings))
 
 
 def test_baseline_stays_empty():

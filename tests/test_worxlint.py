@@ -14,12 +14,23 @@ import textwrap
 import pytest
 
 from repro.cli import main as cli_main
-from repro.tooling import (Finding, LintConfig, default_config,
-                           load_baseline, parse_count, refresh_baseline,
-                           render_baseline, run_lint, write_baseline)
+from repro.tooling import (Finding, LintConfig, clear_cache,
+                           default_config, load_baseline, parse_count,
+                           refresh_baseline, render_baseline, run_lint,
+                           write_baseline)
 
 FIXTURE = pathlib.Path(__file__).resolve().parent / "fixtures" / "worxtree"
-FIXTURE_LAYERS = {"lib": 0, "mid": 1, "app": 2, "": 3}
+FIXTURE_LAYERS = {"lib": 0, "mid": 1, "app": 2, "srv": 2, "fed": 2,
+                  "": 3}
+
+#: the concurrency contract of the fixture tree — what the WORX2xx
+#: policy-driven rules (201/203/205) key off.
+FIXTURE_POLICY = {
+    "contexts": {"acme/srv/state.py::ServingState.stats": "serving"},
+    "sim_owned": {"acme/srv/state.py": frozenset({"server.engine"})},
+    "lock_guarded": {"acme/srv/state.py": {"server.history": "lock"}},
+    "shard_roots": frozenset({"acme/fed/"}),
+}
 
 #: the one planted violation per rule, by exact rule:path:line key.
 PLANTED = {
@@ -29,12 +40,24 @@ PLANTED = {
     "WORX104": "WORX104:acme/app/flows.py:15",
     "WORX105": "WORX105:acme/mid/__init__.py:7",
     "WORX106": "WORX106:acme/lib/store.py:24",
+    "WORX201": "WORX201:acme/srv/state.py:19",
+    "WORX202": "WORX202:acme/srv/state.py:23",
+    "WORX203": "WORX203:acme/srv/state.py:27",
+    "WORX204": "WORX204:acme/srv/aio.py:7",
+    "WORX205": "WORX205:acme/fed/spread.py:8",
 }
+
+#: what fires without the policy (a bare CLI run on the fixture tree):
+#: WORX201/203/205 need the contexts/guards/shard-roots declarations,
+#: which only ``fixture_config`` supplies.
+CLI_PLANTED = {rule: key for rule, key in PLANTED.items()
+               if rule not in ("WORX201", "WORX203", "WORX205")}
 
 
 def fixture_config(**kwargs):
+    merged = {**FIXTURE_POLICY, **kwargs}
     return LintConfig(root=FIXTURE, package="acme",
-                      layers=dict(FIXTURE_LAYERS), **kwargs)
+                      layers=dict(FIXTURE_LAYERS), **merged)
 
 
 def lint_snippet(tmp_path, source, *, rules=None, name="mod.py"):
@@ -142,14 +165,74 @@ def test_missing_baseline_is_empty(tmp_path):
 # -- single shared parse -----------------------------------------------------
 
 def test_every_file_parsed_exactly_once():
-    """All six passes run off one shared parse: the ast.parse counter
-    grows by exactly the number of files in the tree, never more."""
+    """All eleven passes run off one shared parse: the ast.parse
+    counter grows by exactly the number of files in the tree, never
+    more.  ``no_cache`` keeps the count honest — with the cache on, a
+    warm run parses *zero* files (covered separately below)."""
     n_files = len([p for p in FIXTURE.rglob("*.py")
                    if "__pycache__" not in p.parts])
     before = parse_count()
-    result = run_lint(fixture_config())
-    assert len(result.rules) == 6
+    result = run_lint(fixture_config(no_cache=True))
+    assert len(result.rules) == 11
     assert parse_count() - before == n_files == result.modules
+
+
+# -- parsed-module cache -----------------------------------------------------
+
+def test_warm_cache_skips_unchanged_modules():
+    """Second run over an unchanged tree re-parses nothing; findings
+    are identical to the cold run's."""
+    clear_cache()
+    cold = run_lint(fixture_config())
+    before = parse_count()
+    warm = run_lint(fixture_config())
+    assert parse_count() - before == 0
+    assert [f.key for f in warm.findings] == \
+        [f.key for f in cold.findings]
+
+
+def test_no_cache_bypasses_warm_cache():
+    run_lint(fixture_config())  # ensure the cache is warm
+    n_files = len([p for p in FIXTURE.rglob("*.py")
+                   if "__pycache__" not in p.parts])
+    before = parse_count()
+    run_lint(fixture_config(no_cache=True))
+    assert parse_count() - before == n_files
+
+
+def test_edited_file_is_reparsed(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("import time\n\n\ndef t():\n    return time.time()\n")
+    config = LintConfig(root=tmp_path, package="pkg", layers={},
+                        rules=frozenset({"WORX102"}))
+    assert len(run_lint(config).findings) == 1
+    before = parse_count()
+    assert len(run_lint(config).findings) == 1  # warm: no re-parse
+    assert parse_count() - before == 0
+    mod.write_text("VALUE = 1\n")
+    import os
+    st = mod.stat()
+    os.utime(mod, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+    result = run_lint(config)
+    assert parse_count() - before == 1  # stat changed -> re-parsed
+    assert not result.findings
+
+
+def test_disk_cache_persists_across_processes(tmp_path):
+    """A ``cache_path`` round-trips through pickle: a fresh in-process
+    cache (as a new ``make check`` process would have) loads it and
+    skips every unchanged file."""
+    (tmp_path / "mod.py").write_text("VALUE = 1\n")
+    cache = tmp_path / ".worxlint.cache"
+    config = LintConfig(root=tmp_path, package="pkg", layers={},
+                        cache_path=cache)
+    run_lint(config)
+    assert cache.is_file()
+    clear_cache()  # simulate a brand-new process
+    before = parse_count()
+    result = run_lint(config)
+    assert parse_count() - before == 0
+    assert result.modules == 1
 
 
 # -- JSON output -------------------------------------------------------------
@@ -157,21 +240,24 @@ def test_every_file_parsed_exactly_once():
 def test_cli_json_schema_and_planted_findings(capsys):
     code = cli_main([
         "lint", "--json", "--root", str(FIXTURE), "--package", "acme",
-        "--layers", "lib=0,mid=1,app=2,=3"])
+        "--layers", "lib=0,mid=1,app=2,srv=2,fed=2,=3"])
     assert code == 1  # active findings -> non-zero exit
     payload = json.loads(capsys.readouterr().out)
     assert set(payload) == {"version", "ok", "modules", "rules",
                             "findings", "suppressed", "baselined"}
     assert payload["version"] == 1
     assert payload["ok"] is False
-    assert payload["rules"] == sorted(PLANTED)
+    assert payload["rules"] == sorted(PLANTED)  # every pass ran
     assert payload["suppressed"] == 0 and payload["baselined"] == 0
     findings = payload["findings"]
     assert all(set(f) == {"rule", "path", "line", "severity", "message"}
                for f in findings)
     keys = sorted(f"{f['rule']}:{f['path']}:{f['line']}"
                   for f in findings)
-    assert keys == sorted(PLANTED.values())
+    # a bare CLI run carries no concurrency policy, so only the
+    # policy-free rules fire; the full set is covered via
+    # fixture_config in test_one_finding_per_rule_with_exact_locations
+    assert keys == sorted(CLI_PLANTED.values())
 
 
 def test_cli_text_mode_exit_codes(tmp_path, capsys):
@@ -187,10 +273,10 @@ def test_cli_refresh_baseline(tmp_path, capsys):
     baseline = tmp_path / "base"
     code = cli_main([
         "lint", "--root", str(FIXTURE), "--package", "acme",
-        "--layers", "lib=0,mid=1,app=2", "--refresh-baseline",
+        "--layers", "lib=0,mid=1,app=2,srv=2,fed=2", "--refresh-baseline",
         "--baseline", str(baseline)])
     assert code == 0
-    assert load_baseline(baseline) == set(PLANTED.values())
+    assert load_baseline(baseline) == set(CLI_PLANTED.values())
 
 
 # -- regression: strings and comments ----------------------------------------

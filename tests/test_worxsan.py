@@ -1,0 +1,429 @@
+"""worxsan static rules (WORX201-205): unit coverage per rule plus the
+pragma/baseline edge cases the WORX2xx rollout adds — suppression on
+decorated/async defs, pragma-on-wrong-line, holds-annotations, and
+WORX2xx keys surviving a baseline refresh."""
+
+import textwrap
+
+from repro.tooling import LintConfig, load_baseline, refresh_baseline, \
+    run_lint
+
+
+def lint_tree(tmp_path, files, *, rules=None, **policy):
+    """Lint a throwaway tree of ``{rel path: source}`` under a policy."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    config = LintConfig(root=tmp_path, package="pkg", layers={},
+                        rules=frozenset(rules) if rules else None,
+                        **policy)
+    return run_lint(config)
+
+
+def keys(result):
+    return [f.key for f in result.findings]
+
+
+# -- WORX201: thread discipline ----------------------------------------------
+
+BRIDGE_CONTEXTS = {"mod.py::Bridge.publish": "sim",
+                   "mod.py::Bridge.serve": "serving"}
+
+
+def test_worx201_shared_helper_gets_both_contexts(tmp_path):
+    """Call-graph propagation: a helper reached from a sim-seeded and
+    a serving-seeded method carries both, and its lock-free in-place
+    mutation is flagged."""
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class Bridge:
+            def publish(self):
+                self._bump()
+
+            def serve(self):
+                self._bump()
+
+            def _bump(self):
+                self.stats.append(1)
+        """}, rules={"WORX201"}, contexts=BRIDGE_CONTEXTS)
+    assert keys(result) == ["WORX201:mod.py:9"]
+    assert "both the sim and serving threads" in \
+        result.findings[0].message
+
+
+def test_worx201_mutation_under_lock_is_clean(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class Bridge:
+            def publish(self):
+                self._bump()
+
+            def serve(self):
+                self._bump()
+
+            def _bump(self):
+                with self.lock:
+                    self.stats.append(1)
+        """}, rules={"WORX201"}, contexts=BRIDGE_CONTEXTS)
+    assert not result.findings
+
+
+def test_worx201_atomic_rebind_allowed_augassign_flagged(tmp_path):
+    """``self.view = fresh`` is the sanctioned atomic publish;
+    ``self.count += 1`` is a read-modify-write race."""
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class Bridge:
+            def publish(self):
+                self._swap()
+                self._tally()
+
+            def serve(self):
+                self._swap()
+                self._tally()
+
+            def _swap(self):
+                self.view = object()
+
+            def _tally(self):
+                self.count += 1
+        """}, rules={"WORX201"}, contexts=BRIDGE_CONTEXTS)
+    assert keys(result) == ["WORX201:mod.py:14"]
+
+
+def test_worx201_serving_only_touching_sim_owned(tmp_path):
+    source = {"mod.py": """\
+        class State:
+            def stats(self):
+                return self.server.engine.count()
+
+            def safe(self):
+                with self.lock:
+                    return self.server.engine.count()
+        """}
+    result = lint_tree(
+        tmp_path, source, rules={"WORX201"},
+        contexts={"mod.py": "serving"},
+        sim_owned={"mod.py": frozenset({"server"})})
+    assert keys(result) == ["WORX201:mod.py:3"]
+
+
+def test_worx201_holds_annotation_clears_sim_owned(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class State:
+            def stats(self):  # worx: holds lock
+                return self.server.engine.count()
+        """}, rules={"WORX201"}, contexts={"mod.py": "serving"},
+        sim_owned={"mod.py": frozenset({"server"})})
+    assert not result.findings
+
+
+# -- WORX202: snapshot immutability ------------------------------------------
+
+def test_worx202_mutation_through_view_flagged(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        def serve(state):
+            view = state.view
+            view.summary["served"] = True
+            return view
+        """}, rules={"WORX202"})
+    assert keys(result) == ["WORX202:mod.py:3"]
+
+
+def test_worx202_snapshot_call_result_is_tainted(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        def mutate(store):
+            snap = store.snapshot()
+            snap.pop("node001")
+        """}, rules={"WORX202"})
+    assert keys(result) == ["WORX202:mod.py:3"]
+
+
+def test_worx202_frozen_annotated_param_is_tainted(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        def on_update(update: Update):
+            update.values["cpu"] = 0
+        """}, rules={"WORX202"},
+        frozen_types=frozenset({"Update"}))
+    assert keys(result) == ["WORX202:mod.py:2"]
+
+
+def test_worx202_copy_out_and_rebind_are_clean(tmp_path):
+    """dict(view.summary) breaks taint (the sanctioned copy-out), and
+    rebinding the name to a fresh value clears it; republishing
+    ``state.view = fresh`` is the atomic swap, not a mutation."""
+    result = lint_tree(tmp_path, {"mod.py": """\
+        def refresh(state):
+            summary = dict(state.view.summary)
+            summary["served"] = True
+            view = state.view
+            view = object()
+            view.generation = 7
+            state.view = view
+        """}, rules={"WORX202"})
+    assert not result.findings
+
+
+def test_worx202_taint_flows_through_items_view(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        def scrub(state):
+            for host, values in state.view.snapshot.items():
+                values.clear()
+        """}, rules={"WORX202"})
+    assert keys(result) == ["WORX202:mod.py:3"]
+
+
+def test_worx202_frozen_class_may_build_itself(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class PublishedView:
+            def __init__(self, snapshot):
+                self.snapshot = snapshot
+                self.index = {}
+                self.index["gen"] = snapshot.generation
+        """}, rules={"WORX202"})
+    assert not result.findings
+
+
+# -- WORX203: lock discipline ------------------------------------------------
+
+GUARDED = {"mod.py": {"server.history": "lock"}}
+
+
+def test_worx203_lock_free_access_flagged(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class State:
+            def window(self, host):
+                return self.server.history.window(host)
+
+            def graph(self, host):
+                with self.lock:
+                    return self.server.history.graph(host)
+        """}, rules={"WORX203"}, lock_guarded=GUARDED)
+    assert keys(result) == ["WORX203:mod.py:3"]
+
+
+def test_worx203_holds_annotation_trusted(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class State:
+            def _capture(self):  # worx: holds lock
+                return self.server.history.export()
+        """}, rules={"WORX203"}, lock_guarded=GUARDED)
+    assert not result.findings
+
+
+def test_worx203_holds_for_wrong_lock_not_trusted(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class State:
+            def _capture(self):  # worx: holds other_lock
+                return self.server.history.export()
+        """}, rules={"WORX203"}, lock_guarded=GUARDED)
+    assert keys(result) == ["WORX203:mod.py:3"]
+
+
+def test_worx203_replace_only_discipline(tmp_path):
+    """A replace-only chain (lock name "") may be read and swapped
+    wholesale anywhere, mutated in place only in __init__."""
+    result = lint_tree(tmp_path, {"mod.py": """\
+        class Fed:
+            def __init__(self):
+                self._owner = {}
+                self._owner["seed"] = 0
+
+            def reroute(self, host, shard):
+                owner = dict(self._owner)
+                owner[host] = shard
+                self._owner = owner
+
+            def corrupt(self, host, shard):
+                self._owner[host] = shard
+
+            def evict(self, host):
+                self._owner.pop(host)
+        """}, rules={"WORX203"},
+        lock_guarded={"mod.py": {"_owner": ""}})
+    assert keys(result) == ["WORX203:mod.py:12", "WORX203:mod.py:15"]
+
+
+# -- WORX204: blocking in coroutines -----------------------------------------
+
+def test_worx204_blocking_calls_flagged(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        import asyncio
+        import time
+
+
+        async def handler(state):
+            time.sleep(0.1)
+            with state.lock:
+                pass
+            state.lock.acquire()
+            data = open("f").read()
+            await asyncio.sleep(0.1)
+            return data
+        """}, rules={"WORX204"})
+    assert keys(result) == [
+        "WORX204:mod.py:6", "WORX204:mod.py:7",
+        "WORX204:mod.py:9", "WORX204:mod.py:10"]
+
+
+def test_worx204_nested_sync_def_is_its_own_scope(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        import time
+
+
+        async def handler():
+            def stage():
+                time.sleep(0.1)
+            return stage
+        """}, rules={"WORX204"})
+    assert not result.findings
+
+
+def test_worx204_sync_function_not_policed(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        import time
+
+
+        def warmup():
+            time.sleep(0.1)
+        """}, rules={"WORX204"})
+    assert not result.findings
+
+
+# -- WORX205: shard-ownership escape -----------------------------------------
+
+SHARDED = {"shard_roots": frozenset({"fed/"})}
+
+
+def test_worx205_organ_passed_across_shards(tmp_path):
+    result = lint_tree(tmp_path, {"fed/spread.py": """\
+        def rebalance(first, second):
+            second.server.adopt(first.server.store)
+        """}, rules={"WORX205"}, **SHARDED)
+    assert keys(result) == ["WORX205:fed/spread.py:2"]
+
+
+def test_worx205_alias_of_organ_tracked(tmp_path):
+    result = lint_tree(tmp_path, {"fed/spread.py": """\
+        def rebalance(first, second):
+            store = first.server.store
+            second.server.adopt(store)
+        """}, rules={"WORX205"}, **SHARDED)
+    assert keys(result) == ["WORX205:fed/spread.py:3"]
+
+
+def test_worx205_copied_data_is_clean(tmp_path):
+    """The sanctioned migration idiom: call results (copies/exports)
+    break the taint, so drain-style rebalancing stays legal."""
+    result = lint_tree(tmp_path, {"fed/spread.py": """\
+        def rebalance(first, second, host):
+            values = dict(first.server.store.get(host))
+            series = first.server.history.export_host(host)
+            second.server.store.restore(host, values)
+            second.server.history.adopt_host(host, series)
+        """}, rules={"WORX205"}, **SHARDED)
+    assert not result.findings
+
+
+def test_worx205_storing_and_returning_organs(tmp_path):
+    result = lint_tree(tmp_path, {"fed/views.py": """\
+        class FedView:
+            def __init__(self, shard):
+                self.fast_path = shard.server.store
+
+            def engine(self, shard):
+                return shard.server.engine
+
+            def _engine(self, shard):
+                return shard.server.engine
+
+            def rules(self, shard):
+                return shard.server.engine.rules
+        """}, rules={"WORX205"}, **SHARDED)
+    assert keys(result) == ["WORX205:fed/views.py:3",
+                            "WORX205:fed/views.py:6"]
+
+
+def test_worx205_outside_shard_roots_not_policed(tmp_path):
+    result = lint_tree(tmp_path, {"core/glue.py": """\
+        def rebalance(first, second):
+            second.server.adopt(first.server.store)
+        """}, rules={"WORX205"}, **SHARDED)
+    assert not result.findings
+
+
+# -- pragma edge cases (satellite) -------------------------------------------
+
+def test_pragma_suppresses_inside_decorated_async_def(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        import functools
+        import time
+
+
+        @functools.lru_cache(maxsize=None)
+        async def handler():
+            time.sleep(0.1)  # worx: ok WORX204 (startup only)
+        """}, rules={"WORX204"})
+    assert not result.findings
+    assert [f.rule_id for f in result.suppressed] == ["WORX204"]
+
+
+def test_pragma_on_def_line_does_not_cover_body(tmp_path):
+    """Pragmas are same-line only: annotating the ``async def`` does
+    not waive findings on lines inside the body."""
+    result = lint_tree(tmp_path, {"mod.py": """\
+        import time
+
+
+        async def handler():  # worx: ok WORX204
+            time.sleep(0.1)
+        """}, rules={"WORX204"})
+    assert keys(result) == ["WORX204:mod.py:5"]
+    assert not result.suppressed
+
+
+def test_pragma_on_preceding_line_does_not_suppress(tmp_path):
+    result = lint_tree(tmp_path, {"mod.py": """\
+        import time
+
+
+        async def handler():
+            # worx: ok WORX204
+            time.sleep(0.1)
+        """}, rules={"WORX204"})
+    assert keys(result) == ["WORX204:mod.py:6"]
+
+
+# -- baseline refresh keeps WORX2xx keys (satellite) -------------------------
+
+def test_worx2xx_keys_survive_refresh_baseline(tmp_path):
+    root = tmp_path / "tree"
+    (root / "fed").mkdir(parents=True)
+    (root / "mod.py").write_text(textwrap.dedent("""\
+        def serve(state):
+            view = state.view
+            view.summary["served"] = True
+        """))
+    (root / "fed" / "spread.py").write_text(textwrap.dedent("""\
+        def rebalance(first, second):
+            second.server.adopt(first.server.store)
+        """))
+    config = LintConfig(root=root, package="pkg", layers={},
+                        rules=frozenset({"WORX202", "WORX205"}),
+                        shard_roots=frozenset({"fed/"}))
+    baseline = tmp_path / "worxlint.baseline"
+    first = refresh_baseline(config, baseline)
+    expected = {"WORX202:mod.py:3", "WORX205:fed/spread.py:2"}
+    assert {f.key for f in first.findings} == expected
+    assert load_baseline(baseline) == expected
+
+    # grandfathered: the same tree is now clean against the baseline
+    gated = run_lint(LintConfig(
+        root=root, package="pkg", layers={},
+        rules=frozenset({"WORX202", "WORX205"}),
+        shard_roots=frozenset({"fed/"}), baseline=baseline))
+    assert gated.ok
+    assert len(gated.baselined) == 2
+
+    # a second refresh re-derives the same keys — WORX2xx entries
+    # survive (refresh ignores the old baseline, not the findings)
+    refresh_baseline(config, baseline)
+    assert load_baseline(baseline) == expected
