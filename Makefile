@@ -4,7 +4,8 @@
 PYTHON    ?= python
 PYTHONPATH := src
 
-.PHONY: check lint test sanitize bench bench-smoke baseline chaos serve
+.PHONY: check lint test sanitize bench bench-smoke baseline chaos \
+	chaos-federation serve
 
 check: lint test
 
@@ -40,6 +41,7 @@ bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_e16_scaling.py --tiny
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_e17_gateway.py --tiny
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_e18_federation.py --tiny
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_e19_failover.py --tiny
 
 # Serve a simulated cluster's state over HTTP on 127.0.0.1:8137:
 # /v1/summary /v1/hosts /v1/query /v1/events /v1/history /v1/watch /stats.
@@ -50,6 +52,15 @@ serve:
 # every fault reaches a terminal outcome with zero defused errors.
 chaos:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli chaos --nodes 40 --faults 12
+
+# Control-plane self-healing drill (tier-1 also runs the gateway half of
+# this via tests/test_bench_smoke.py and tests/test_faults.py): node
+# faults plus two shard kills over an 8-shard federation — fails unless
+# both kills score failed-over with every node re-owned by a survivor.
+chaos-federation:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli chaos --nodes 64 \
+		--faults 8 --shards 8 --shard-kills 2 --interval 5 \
+		--horizon 300 --settle 1800
 
 # Grandfather the current findings into worxlint.baseline so a new rule
 # can land before the tree is clean.  Prefer fixing, or an inline

@@ -364,10 +364,24 @@ def _cmd_chaos(args) -> int:
         print(f"chaos: unknown fault kind(s): {', '.join(sorted(unknown))}",
               file=sys.stderr)
         return 2
+    if args.shard_kills and args.shards < 2:
+        print("chaos: --shard-kills needs --shards >= 2 (a kill must "
+              "leave a survivor)", file=sys.stderr)
+        return 2
+    topo = {} if args.shards <= 1 else \
+        {"topology": "federation", "shards": args.shards}
     cwx = ClusterWorX(n_nodes=args.nodes, seed=args.seed,
-                      monitor_interval=args.interval, self_healing=True)
+                      monitor_interval=args.interval, self_healing=True,
+                      **topo)
+    control_plane = None
+    if args.shard_kills:
+        from repro.faults import SHARD_KILL, ControlPlan, FaultPlane
+        plane = FaultPlane(cwx.kernel, federation=cwx.server)
+        control_plane = ControlPlan(plane, n_faults=args.shard_kills,
+                                    kinds=(SHARD_KILL,))
     campaign = ChaosCampaign(cwx, n_faults=args.faults, kinds=kinds,
-                             horizon=args.horizon, settle=args.settle)
+                             horizon=args.horizon, settle=args.settle,
+                             control_plane=control_plane)
     wall0 = time.perf_counter()
     report = campaign.execute()
     wall = time.perf_counter() - wall0
@@ -449,6 +463,13 @@ def _cmd_serve(args) -> int:
               f"views published {stats['publishes']} "
               f"reused {stats['publish_reuses']} | "
               f"full copies {cwx.server.store.full_copies}")
+        if args.shards > 1:
+            for row in cwx.server.shard_stats():
+                print(f"  {row['name']}: {row['health']} "
+                      f"heartbeat-age {row['heartbeat_age']:.1f}s "
+                      f"nodes {row['nodes']} "
+                      f"updates {row['updates_received']} "
+                      f"generation {row['generation']}")
         return 0
 
     try:
@@ -567,6 +588,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="post-injection settle time for playbooks")
     p.add_argument("--interval", type=float, default=15.0,
                    help="agent monitoring interval")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the control plane into N federation "
+                        "shards (1 = flat)")
+    p.add_argument("--shard-kills", type=int, default=0,
+                   help="also kill N control-plane shards mid-campaign "
+                        "(scored as control-plane faults; needs "
+                        "--shards >= 2)")
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("serve",

@@ -63,7 +63,8 @@ class ClusterWorX:
                  agent_stagger: int = 1,
                  topology: str = "flat",
                  shards: int = 1,
-                 partition: Optional[Dict[str, str]] = None):
+                 partition: Optional[Dict[str, str]] = None,
+                 topology_options: Optional[Dict[str, object]] = None):
         # ``hot_path="legacy"`` reconstructs the pre-overhaul machinery
         # (heap-only kernel, one process per agent, unindexed event
         # engine, per-update sweep writes) — both paths produce
@@ -77,9 +78,11 @@ class ClusterWorX:
         # federation is golden-trace byte-identical.
         if hot_path not in ("fast", "legacy"):
             raise ValueError(f"unknown hot_path {hot_path!r}")
-        if topology == "flat" and (shards != 1 or partition is not None):
+        if topology == "flat" and (shards != 1 or partition is not None
+                                   or topology_options):
             raise ValueError(
-                "shards/partition require topology='federation'")
+                "shards/partition/topology_options require "
+                "topology='federation'")
         self.hot_path = hot_path
         self.topology = topology
         fast = hot_path == "fast"
@@ -119,7 +122,8 @@ class ClusterWorX:
                 shards=shards, partition=partition,
                 self_healing=self_healing,
                 suspect_after=2.5 * monitor_interval,
-                down_after=5.0 * monitor_interval)
+                down_after=5.0 * monitor_interval,
+                **(topology_options or {}))
         if not fast:
             self.server.engine.indexed = False
             self.server.sweep_batching = False

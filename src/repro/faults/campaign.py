@@ -1,0 +1,151 @@
+"""Control-plane fault campaigns: the ``control_plane`` hook for
+:class:`~repro.resilience.chaos.ChaosCampaign`.
+
+:class:`ControlPlan` is the concrete implementation of the duck-typed
+``control_plane`` object the chaos layer accepts: ``plan(rng, t0,
+start, horizon)`` draws shard victims and schedules the faults through
+a :class:`~repro.faults.plane.FaultPlane`; ``score()`` distills the
+monitor transition log, the federation fail-over audit trail and the
+channel drop counters into :class:`ControlFaultOutcome` rows that ride
+inside the ordinary :class:`~repro.resilience.chaos.CampaignReport`.
+
+Determinism contract: the plan is a pure function of the RNG stream
+(which :class:`ChaosCampaign` hands over *after* its node-fault draws)
+and the set of active shards — same seed, same spec, byte-identical
+report, including the control-plane rows.  Victim selection always
+leaves at least one survivor, because drain-on-death needs an adopter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.faults.plane import (FaultPlane, LINK_DOWN, PUBLISH_STALL,
+                                SHARD_HANG, SHARD_KILL, SHARD_SLOW)
+from repro.federation.shard import DEAD, HEALTHY, SUSPECT
+from repro.resilience.chaos import (BENIGN, FAILED_OVER,
+                                    ControlFaultOutcome, RODE_THROUGH,
+                                    UNRESOLVED)
+
+__all__ = ["ControlPlan"]
+
+
+class ControlPlan:
+    """Plan + score control-plane faults inside a chaos campaign."""
+
+    def __init__(self, plane: FaultPlane, *, n_faults: int = 1,
+                 kinds: Sequence[str] = (SHARD_KILL,),
+                 duration: float = 60.0, slow_latency: float = 5.0):
+        if plane.federation is None:
+            raise ValueError("ControlPlan needs a federation-attached "
+                             "fault plane")
+        self.plane = plane
+        self.n_faults = n_faults
+        self.kinds = tuple(kinds)
+        #: how long the transient kinds (hang/slow/link/stall) last.
+        self.duration = duration
+        #: injected per-call latency for SHARD_SLOW; above the channel
+        #: timeout this fails calls outright.
+        self.slow_latency = slow_latency
+        self.outcomes: List[ControlFaultOutcome] = []
+
+    # -- planning ------------------------------------------------------------
+    def plan(self, rng, t0: float, start: float,
+             horizon: float) -> List[ControlFaultOutcome]:
+        """Draw victims + times and schedule the faults.
+
+        Victims are distinct active shards, and at least one active
+        shard is never targeted (the survivor that adopts the drained
+        nodes).  Injection times land in the middle half of the
+        horizon, so there is runway both to observe the healthy system
+        and to watch redistribution finish.
+        """
+        federation = self.plane.federation
+        active = [shard.index for shard in federation.shards
+                  if shard.active]
+        n = min(self.n_faults, max(len(active) - 1, 0))
+        victims = rng.choice(len(active), size=n, replace=False)
+        kind_idx = rng.integers(0, len(self.kinds), size=n)
+        offsets = rng.uniform(0.25 * horizon, 0.75 * horizon, size=n)
+        plan = sorted(
+            (float(t0 + start + offset), active[int(victim)],
+             self.kinds[int(k)])
+            for offset, victim, k in zip(offsets, victims, kind_idx))
+        for at, index, kind in plan:
+            self.outcomes.append(self._inject(kind, index, at))
+        return self.outcomes
+
+    def _inject(self, kind: str, index: int,
+                at: float) -> ControlFaultOutcome:
+        federation = self.plane.federation
+        if kind == PUBLISH_STALL:
+            self.plane.stall_gateway(at, self.duration)
+            return ControlFaultOutcome(target="gateway", kind=kind,
+                                       injected_at=at,
+                                       duration=self.duration)
+        name = federation.shards[index].name
+        duration = 0.0 if kind == SHARD_KILL else self.duration
+        if kind == SHARD_KILL:
+            self.plane.kill_shard(index, at)
+        elif kind == SHARD_HANG:
+            self.plane.hang_shard(index, at, self.duration)
+        elif kind == SHARD_SLOW:
+            self.plane.slow_shard(index, at, self.duration,
+                                  latency=self.slow_latency)
+        elif kind == LINK_DOWN:
+            self.plane.partition_link(index, at, self.duration)
+        else:
+            raise ValueError(f"unknown control fault kind {kind!r}")
+        return ControlFaultOutcome(target=name, kind=kind,
+                                   injected_at=at, duration=duration,
+                                   shard=index)
+
+    # -- scoring -------------------------------------------------------------
+    def score(self) -> List[ControlFaultOutcome]:
+        """Fill in detection / redistribution columns from the audit
+        trails and classify each fault's outcome."""
+        federation = self.plane.federation
+        monitor = federation.monitor
+        for outcome in self.outcomes:
+            if outcome.shard is None:
+                self._score_gateway(outcome)
+                continue
+            index = outcome.shard
+            suspected = monitor.detected_at(index, SUSPECT,
+                                            since=outcome.injected_at)
+            dead = monitor.detected_at(index, DEAD,
+                                       since=outcome.injected_at)
+            if suspected is not None or dead is not None:
+                outcome.detected_at = min(
+                    t for t in (suspected, dead) if t is not None)
+            shard = federation.shards[index]
+            if shard.channel is not None:
+                outcome.updates_dropped = shard.channel.dropped_ingests
+            row = next((r for r in federation.failovers
+                        if r[1] == index
+                        and r[0] >= outcome.injected_at), None)
+            if row is not None:
+                outcome.failed_over_at = row[0]
+                outcome.nodes_moved = row[3]
+                outcome.outcome = FAILED_OVER
+            elif outcome.detected_at is not None:
+                healed = monitor.detected_at(index, HEALTHY,
+                                             since=outcome.detected_at)
+                outcome.outcome = (RODE_THROUGH if healed is not None
+                                   else UNRESOLVED)
+            else:
+                # Never even suspected: the fault was shorter than the
+                # escalation threshold (or the backoff re-probe caught
+                # the shard back up first).
+                outcome.outcome = BENIGN
+        return self.outcomes
+
+    def _score_gateway(self, outcome: ControlFaultOutcome) -> None:
+        state = self.plane.gateway_state
+        ended = outcome.injected_at + outcome.duration
+        if state is not None and state.publish_stalls > 0:
+            outcome.detected_at = outcome.injected_at
+        if self.plane.kernel.now >= ended:
+            outcome.outcome = RODE_THROUGH
+        else:
+            outcome.outcome = UNRESOLVED

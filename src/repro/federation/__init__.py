@@ -13,8 +13,12 @@ thin federation layer:
   (store/engine/history/health/recovery) merged across shards;
 * :mod:`~repro.federation.remote` — NodeSet-routed fan-out: one
   logical run becomes one windowed sub-run per owning shard;
+* :mod:`~repro.federation.channel` — the simulated RPC boundary to one
+  shard: fault switches, timeout bound, per-shard circuit breaker;
+* :mod:`~repro.federation.monitor` — shard heartbeats with
+  suspect/dead escalation and automatic drain-on-death;
 * :mod:`~repro.federation.server` — the coordinator: ingest routing,
-  query merging, drain-triggered rebalancing;
+  query merging, drain-triggered rebalancing, shard fail-over;
 * :mod:`~repro.federation.api` — deterministic partition planning and
   the ``topology="federation"`` builder registration.
 
@@ -25,10 +29,13 @@ are plain core servers and never import federation.
 """
 
 from repro.federation.api import build_federation, plan_partitions
+from repro.federation.channel import ShardChannel, ShardUnavailable
+from repro.federation.monitor import ShardHealthMonitor
 from repro.federation.remote import FederatedRemote, FederatedRun
 from repro.federation.rollup import RollupCache
 from repro.federation.server import FederationServer
-from repro.federation.shard import Shard
+from repro.federation.shard import (DEAD, DRAINING, HEALTHY, SUSPECT,
+                                    Shard)
 from repro.federation.views import (FederatedEvents, FederatedHealth,
                                     FederatedHistory, FederatedRecovery,
                                     FederatedSnapshot, FederatedStore,
@@ -36,6 +43,8 @@ from repro.federation.views import (FederatedEvents, FederatedHealth,
 
 __all__ = [
     "FederationServer", "Shard", "RollupCache",
+    "ShardChannel", "ShardUnavailable", "ShardHealthMonitor",
+    "HEALTHY", "SUSPECT", "DEAD", "DRAINING",
     "FederatedEvents", "FederatedHealth", "FederatedHistory",
     "FederatedRecovery", "FederatedSnapshot", "FederatedStore",
     "FederatedSubscription", "FederatedRemote", "FederatedRun",

@@ -61,8 +61,17 @@ def build_federation(kernel: SimKernel, cluster: Cluster, *,
     ``server_kwargs`` (self_healing, suspect_after, down_after, ...)
     forward to every shard's :class:`ClusterWorXServer` unchanged, so a
     shard is configured exactly like the flat server would have been —
-    the 1-shard golden-trace equivalence rests on that.
+    the 1-shard golden-trace equivalence rests on that.  Shard-level
+    self-healing knobs (``shard_heartbeat``, ``shard_suspect_after``,
+    ``shard_down_after``, ``auto_failover``) are peeled off here and
+    given to the :class:`FederationServer` instead — they govern the
+    health of *shards*, not of nodes.
     """
+    federation_kwargs = {
+        key: server_kwargs.pop(key)
+        for key in ("shard_heartbeat", "shard_suspect_after",
+                    "shard_down_after", "auto_failover")
+        if key in server_kwargs}
     plan = plan_partitions(cluster, shards=shards, partition=partition)
     images = ImageManager()
     shard_list: List[Shard] = []
@@ -75,7 +84,7 @@ def build_federation(kernel: SimKernel, cluster: Cluster, *,
         shard_list.append(Shard(index, name, server))
     return FederationServer(kernel, cluster, shard_list,
                             registry=registry, notifier=notifier,
-                            images=images)
+                            images=images, **federation_kwargs)
 
 
 register_topology("federation", build_federation)

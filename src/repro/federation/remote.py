@@ -8,29 +8,134 @@ owning shard — each with its own fanout window — and the
 :class:`~repro.remote.engine.TaskRun` surface (``done``, ``results``,
 ``ok``, ``counts``, ``gather``/``report``), so callers — the facade's
 ``remote_run``, event actions, recovery probes — never see the split.
+
+Dispatch goes through each shard's
+:class:`~repro.federation.channel.ShardChannel`: a shard that is
+unreachable *at dispatch time* contributes an :class:`UnreachableRun`
+stub (every target reported ``unreachable``, done already fired) and
+its name lands in ``FederatedRun.unreachable_shards`` — partial results
+tagged, never an exception.  A shard that dies *mid-run* is handled by
+the fail-over path: :meth:`FederatedRemote.abort_shard_runs` cuts its
+in-flight sub-runs short, and after the drain has re-owned the nodes
+:meth:`FederatedRemote.redispatch` re-routes the unfinished targets
+onto the adopting shards, re-arming every affected run's ``done``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.federation.shard import Shard
-from repro.remote.engine import TaskRun
+from repro.remote.engine import TaskEngine, TaskRun
 from repro.remote.gather import GatheredGroup, format_gathered, gather
 from repro.remote.nodeset import NodeSet
 from repro.remote.worker import WorkerResult
 from repro.sim import SimKernel
 
-__all__ = ["FederatedRun", "FederatedRemote"]
+__all__ = ["FederatedRun", "FederatedRemote", "UnreachableRun"]
+
+
+class UnreachableRun:
+    """A TaskRun-shaped stub for a shard that was down at dispatch.
+
+    Every target is immediately reported with status ``unreachable``
+    (rc 1), ``done`` is already fired, and the run is complete-but-not-
+    ok — exactly what a real engine would produce if every connection
+    attempt failed instantly.  Keeping the TaskRun surface means the
+    merge logic in :class:`FederatedRun` needs no special case.
+    """
+
+    def __init__(self, kernel: SimKernel, nodes: NodeSet,
+                 shard_name: str):
+        now = kernel.now
+        self.nodes = nodes
+        self.results: Dict[str, WorkerResult] = {
+            hostname: WorkerResult(
+                hostname, "unreachable", 1,
+                f"shard {shard_name} unreachable", attempts=0,
+                started_at=now, finished_at=now)
+            for hostname in nodes}
+        self.started_at = now
+        self.finished_at = now
+        self.done = kernel.event()
+        self.done.succeed(None)
+
+    @property
+    def complete(self) -> bool:
+        return True
+
+    @property
+    def ok(self) -> bool:
+        return len(self.nodes) == 0
+
+    @property
+    def makespan(self) -> float:
+        return 0.0
+
+    @property
+    def total_attempts(self) -> int:
+        return 0
+
+    @property
+    def pending_nodes(self) -> NodeSet:
+        return NodeSet()
+
+    def abort(self, reason: str = "run aborted") -> NodeSet:
+        return NodeSet()
+
+    def counts(self) -> Dict[str, int]:
+        return {"unreachable": len(self.nodes)} if self.nodes else {}
+
+    def nodes_with_status(self, *statuses: str) -> NodeSet:
+        if "unreachable" in statuses:
+            return self.nodes
+        return NodeSet()
+
+    def gather(self) -> List[GatheredGroup]:
+        return gather(self.results.values())
+
+    def report(self) -> str:
+        return format_gathered(self.gather())
 
 
 class FederatedRun:
-    """One logical command execution, split over per-shard TaskRuns."""
+    """One logical command execution, split over per-shard TaskRuns.
 
-    def __init__(self, kernel: SimKernel, runs: Sequence[TaskRun]):
-        #: the per-shard sub-runs, in shard-index order.
+    The sub-run set is *mutable*: when a shard dies mid-run, fail-over
+    aborts its sub-run and :meth:`_adopt` grafts replacement runs (on
+    the adopting shards) into this same logical run — ``done`` re-arms
+    to include them, and the merged ``results`` let the re-dispatched
+    outcomes override the aborted entries, because later runs merge
+    after earlier ones.
+    """
+
+    def __init__(self, kernel: SimKernel, runs: Sequence[TaskRun], *,
+                 command=None, options: Optional[Dict] = None,
+                 indices: Optional[Sequence[int]] = None):
+        self.kernel = kernel
+        #: the per-shard sub-runs, in dispatch order (replacements from
+        #: a fail-over append after the originals).
         self.runs = list(runs)
+        #: what was asked for — kept so a fail-over can re-dispatch.
+        self.command = command
+        self.options: Dict = dict(options) if options else {}
+        #: shard index -> sub-runs dispatched to that shard.
+        self.by_shard: Dict[int, List] = {}
+        if indices is not None:
+            for index, run in zip(indices, self.runs):
+                self.by_shard.setdefault(index, []).append(run)
+        #: shard names that were unreachable at (re-)dispatch time.
+        self.unreachable_shards: List[str] = []
+        #: how many times fail-over re-routed part of this run.
+        self.reroutes = 0
         self.done = kernel.all_of([run.done for run in self.runs])
+
+    def _adopt(self, index: int, run) -> None:
+        """Graft a replacement sub-run (fail-over re-dispatch) into
+        this logical run and re-arm ``done`` to cover it."""
+        self.runs.append(run)
+        self.by_shard.setdefault(index, []).append(run)
+        self.done = self.kernel.all_of([self.done, run.done])
 
     # -- merged views -----------------------------------------------------
     @property
@@ -53,7 +158,17 @@ class FederatedRun:
 
     @property
     def ok(self) -> bool:
-        return bool(self.runs) and all(run.ok for run in self.runs)
+        """Merged-results verdict: every target's *final* result ok.
+
+        Judged over the merged map, not per sub-run, so a node whose
+        first attempt died with its shard (``aborted``) but whose
+        re-dispatched run succeeded counts as ok.
+        """
+        if not self.runs or not self.complete:
+            return False
+        merged = self.results
+        return len(merged) == len(self.nodes) \
+            and all(r.ok for r in merged.values())
 
     @property
     def makespan(self) -> float:
@@ -64,17 +179,15 @@ class FederatedRun:
         return sum(run.total_attempts for run in self.runs)
 
     def counts(self) -> Dict[str, int]:
+        """Status histogram over the merged (final) results."""
         merged: Dict[str, int] = {}
-        for run in self.runs:
-            for status, count in run.counts().items():
-                merged[status] = merged.get(status, 0) + count
+        for result in self.results.values():
+            merged[result.status] = merged.get(result.status, 0) + 1
         return merged
 
     def nodes_with_status(self, *statuses: str) -> NodeSet:
-        out = NodeSet()
-        for run in self.runs:
-            out = out | run.nodes_with_status(*statuses)
-        return out
+        return NodeSet([r.node for r in self.results.values()
+                        if r.status in statuses])
 
     def gather(self) -> List[GatheredGroup]:
         return gather(self.results.values())
@@ -91,6 +204,9 @@ class FederatedRemote:
         self.kernel = kernel
         self._shards = list(shards)
         self._owner_of = owner_of
+        #: every logical run ever dispatched — the fail-over path scans
+        #: these for in-flight work on a dead shard.
+        self.federated_runs: List[FederatedRun] = []
 
     def _default_shard(self) -> Shard:
         return next((s for s in self._shards if s.active),
@@ -100,7 +216,14 @@ class FederatedRemote:
                 ) -> NodeSet:
         """Parse with the cluster's @group resolver (any shard's
         engine resolves identically — they share the cluster)."""
-        return self._default_shard().server.remote.nodeset(nodes)
+        shard = self._default_shard()
+        parsed = shard.call(
+            lambda: shard.server.remote.nodeset(nodes),
+            default=None, label="nodeset")
+        if parsed is not None:
+            return parsed
+        # Resolver shard unreachable: parse without @group expansion.
+        return nodes if isinstance(nodes, NodeSet) else NodeSet(nodes)
 
     def split_by_owner(self, nodes: Union[str, NodeSet, Iterable[str]]
                        ) -> Dict[int, NodeSet]:
@@ -120,6 +243,20 @@ class FederatedRemote:
         return {index: NodeSet(names)
                 for index, names in sorted(by_shard.items())}
 
+    def _dispatch(self, task: FederatedRun, index: int,
+                  share: NodeSet) -> None:
+        """Start one sub-run on shard ``index`` through its channel;
+        an unreachable shard yields an UnreachableRun stub instead."""
+        shard = self._shards[index]
+        sub = shard.call(
+            lambda: shard.server.remote.run(task.command, share,
+                                            **task.options),
+            default=None, label="dispatch")
+        if sub is None:
+            sub = UnreachableRun(self.kernel, share, shard.name)
+            task.unreachable_shards.append(shard.name)
+        task._adopt(index, sub)
+
     def run(self, command, nodes: Union[str, NodeSet, Iterable[str]],
             **options) -> FederatedRun:
         """Schedule one sub-run per owning shard; returns immediately.
@@ -130,34 +267,82 @@ class FederatedRemote:
         in parallel instead of one global window.
         """
         split = self.split_by_owner(nodes)
+        task = FederatedRun(self.kernel, [], command=command,
+                            options=options)
         if not split:
             # Empty target set: one empty run keeps the TaskRun
             # surface (done fires immediately, results == {}).
-            empty = self._default_shard().server.remote.run(
-                command, NodeSet(), **options)
-            return FederatedRun(self.kernel, [empty])
-        runs = [self._shards[index].server.remote.run(
-            command, share, **options)
-            for index, share in split.items()]
-        return FederatedRun(self.kernel, runs)
+            self._dispatch(task, self._default_shard().index,
+                           NodeSet())
+        else:
+            for index, share in split.items():
+                self._dispatch(task, index, share)
+        self.federated_runs.append(task)
+        return task
 
     def run_sync(self, command,
                  nodes: Union[str, NodeSet, Iterable[str]],
                  **options) -> FederatedRun:
-        """Schedule and drive the kernel until every sub-run finishes."""
+        """Schedule and drive the kernel until every sub-run finishes.
+
+        Loops on ``task.done`` rather than waiting once: a mid-run
+        fail-over re-arms ``done`` to cover the re-dispatched sub-runs,
+        and the loop keeps driving until the logical run — including
+        every graft — is complete.
+        """
         task = self.run(command, nodes, **options)
-        self.kernel.run(task.done)
+        while not task.complete:
+            self.kernel.run(task.done)
         return task
+
+    # -- fail-over hooks ----------------------------------------------------
+    def abort_shard_runs(self, index: int
+                         ) -> List[Tuple[FederatedRun, NodeSet]]:
+        """Cut short every in-flight sub-run on shard ``index``.
+
+        Called by :meth:`FederationServer.fail_over` *before* the
+        drain: each live worker on the dead shard records an
+        ``aborted`` result.  Returns ``[(run, pending nodes)]`` so the
+        caller can :meth:`redispatch` the unfinished targets once the
+        drain has re-owned them.
+        """
+        out: List[Tuple[FederatedRun, NodeSet]] = []
+        for task in self.federated_runs:
+            pending = NodeSet()
+            for sub in task.by_shard.get(index, ()):
+                if not sub.complete:
+                    pending = pending | sub.abort("shard failed over")
+            if pending:
+                task.reroutes += 1
+                out.append((task, pending))
+        return out
+
+    def redispatch(self, task: FederatedRun, nodes: NodeSet) -> None:
+        """Re-route aborted targets onto their post-drain owners.
+
+        The ownership split is recomputed, so the grafted sub-runs land
+        on the shards that adopted the nodes; their results override
+        the ``aborted`` entries in the merged view.
+        """
+        if not nodes:
+            return
+        for index, share in self.split_by_owner(nodes).items():
+            self._dispatch(task, index, share)
 
     @property
     def runs(self) -> List[TaskRun]:
         """Every sub-run ever scheduled, across all shard engines."""
         out: List[TaskRun] = []
         for shard in self._shards:
-            out.extend(shard.server.remote.runs)
+            out.extend(shard.call(
+                lambda: shard.server.remote.runs,
+                default=(), label="runs"))
         return out
 
     @property
     def fanout(self) -> int:
         """Per-shard window size (the flat engine default)."""
-        return self._default_shard().server.remote.fanout
+        shard = self._default_shard()
+        return shard.call(lambda: shard.server.remote.fanout,
+                          default=TaskEngine.DEFAULT_FANOUT,
+                          label="fanout")

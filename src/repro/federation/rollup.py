@@ -31,8 +31,11 @@ class RollupCache:
 
     def __init__(self, shards: Sequence[Shard]):
         self._shards = list(shards)
+        # Construction-time read: no default — building a rollup cache
+        # over an unreachable shard is a caller error, not degradation.
         self._cached: List[Dict[str, object]] = [
-            shard.server.store.rollup() for shard in self._shards]
+            shard.call(lambda shard=shard: shard.server.store.rollup())
+            for shard in self._shards]
         self._gens: List[int] = [
             int(rollup["generation"]) for rollup in self._cached]
         #: shard contributions that had to be re-read (the shard wrote).
@@ -42,18 +45,49 @@ class RollupCache:
 
     def _sync(self) -> None:
         for i, shard in enumerate(self._shards):
-            gen = shard.server.store.generation
-            if gen == self._gens[i]:
+            gen = shard.call(lambda: shard.server.store.generation,
+                             default=None, label="rollup-gen")
+            if gen is None and not shard.active:
+                # Dead *and* drained: its nodes were adopted by the
+                # survivors, whose contributions now cover them — the
+                # stale cache entry would double-count the fleet.
+                self._cached[i] = self._empty(self._gens[i])
                 self.reuses += 1
                 continue
-            self._cached[i] = shard.server.store.rollup()
+            if gen is None or gen == self._gens[i]:
+                # Unchanged — or unreachable but still the owner, in
+                # which case the shard's last cached contribution keeps
+                # serving (the summary degrades to stale, never to a
+                # hole in the fleet).
+                self.reuses += 1
+                continue
+            rollup = shard.call(lambda: shard.server.store.rollup(),
+                                default=None, label="rollup")
+            if rollup is None:
+                self.reuses += 1
+                continue
+            self._cached[i] = rollup
             self._gens[i] = gen
             self.refreshes += 1
 
+    @staticmethod
+    def _empty(generation: int) -> Dict[str, object]:
+        """A zero contribution with the generation frozen (monotone)."""
+        return {"nodes_total": 0, "nodes_up": 0, "cpu_n": 0,
+                "cpu_sum": 0.0, "mem_used": 0.0, "mem_total": 0.0,
+                "temp_max": 0.0, "generation": generation}
+
     @property
     def generation(self) -> int:
-        """Sum of shard generations: monotone, O(shards) to read."""
-        return sum(s.server.store.generation for s in self._shards)
+        """Sum of shard generations: monotone, O(shards) to read.  An
+        unreachable shard's generation freezes at its last synced
+        value, keeping the sum monotone through an outage."""
+        total = 0
+        for i, shard in enumerate(self._shards):
+            gen = shard.call(lambda: shard.server.store.generation,
+                             default=None, label="rollup-gen")
+            total += self._gens[i] if gen is None else gen
+        return total
 
     def summary(self) -> Dict[str, object]:
         """The merged cluster rollup, flat-summary shaped.

@@ -29,8 +29,10 @@ from repro.core.auth import AuthManager, Role
 from repro.core.cluster import Cluster
 from repro.core.statestore import Update
 from repro.events.rules import ThresholdRule
+from repro.federation.channel import ShardChannel
+from repro.federation.monitor import ShardHealthMonitor
 from repro.federation.remote import FederatedRemote
-from repro.federation.shard import Shard
+from repro.federation.shard import DEAD, DRAINING, SUSPECT, Shard
 from repro.federation.views import (FederatedEvents, FederatedHealth,
                                     FederatedHistory, FederatedRecovery,
                                     FederatedSnapshot, FederatedStore,
@@ -48,12 +50,28 @@ class FederationServer:
 
     def __init__(self, kernel: SimKernel, cluster: Cluster,
                  shards: List[Shard], *, registry=None, notifier=None,
-                 images: Optional[ImageManager] = None):
+                 images: Optional[ImageManager] = None,
+                 shard_heartbeat: float = 5.0,
+                 shard_suspect_after: float = 12.5,
+                 shard_down_after: float = 25.0,
+                 auto_failover: bool = True):
         if not shards:
             raise ValueError("a federation needs at least one shard")
         self.kernel = kernel
         self.cluster = cluster
         self.shards = shards
+        #: the guarded RPC boundary to each shard; every federated
+        #: fan-out read goes through these (WORX107 enforces it).
+        self.channels: List[ShardChannel] = []
+        for shard in shards:
+            shard.channel = ShardChannel(kernel, shard)
+            self.channels.append(shard.channel)
+        #: heartbeats + suspect/dead escalation + drain-on-death.
+        self.monitor = ShardHealthMonitor(
+            self, interval=shard_heartbeat,
+            suspect_after=shard_suspect_after,
+            down_after=shard_down_after,
+            auto_failover=auto_failover)
         self.registry = registry
         self.notifier = notifier
         self.topology = "federation"
@@ -81,8 +99,15 @@ class FederationServer:
         self.queries_served = 0
         #: ingests that found no owner and were dropped.
         self.unrouted_updates = 0
+        #: ingests dropped because the owning shard was unreachable —
+        #: the E19 campaign's "updates dropped" cost of a shard outage.
+        self.updates_dropped = 0
         #: nodes moved per drain, for observability: (from, to, count).
         self.rebalances: List[tuple] = []
+        #: automatic fail-overs: (time, shard index, reason, nodes moved).
+        self.failovers: List[tuple] = []
+        #: last good per-shard counter row, served while unreachable.
+        self._last_stats: Dict[int, Dict[str, int]] = {}
 
     # -- ownership -----------------------------------------------------------
     def owner_of(self, hostname: str) -> Optional[Shard]:
@@ -143,6 +168,7 @@ class FederationServer:
             raise ValueError("cannot drain the last active shard")
         shard.server.stop_sweep()
         shard.active = False
+        shard.health = DRAINING
         moved: Dict[str, int] = {}
         owner = dict(self._owner)
         source = shard.server
@@ -166,7 +192,66 @@ class FederationServer:
             moved[hostname] = target.index
         self._owner = owner
         self.rebalances.append((index, dict(moved)))
+        # Re-home live watch subscriptions whose host filter bound them
+        # to the drained shard's bus: their hosts now publish on the
+        # adopting shards.  Because ``restore`` above is a silent write,
+        # subscribers see no duplicate deltas — the first post-drain
+        # delta for a moved host is its next agent update, delivered via
+        # the new owner (the ISSUE's "resume without duplicate or lost
+        # deltas" guarantee).
+        self.store.rehome(shard, self.owner_of)
         return moved
+
+    def fail_over(self, index: int, *,
+                  reason: str = "manual") -> Dict[str, int]:
+        """Full dead-shard recovery: abort + re-route the shard's
+        in-flight remote runs, drain its nodes to survivors, then
+        re-dispatch the aborted work on the adopting shards.
+
+        This is what the health monitor calls when heartbeats age past
+        ``down_after``.  State and history migrate through
+        :meth:`drain`; in the simulation they are read from the dead
+        shard's in-process store, standing in for the durable-store
+        recovery a real deployment would run.  Returns the drain's
+        ``{hostname: new shard index}`` map.
+        """
+        shard = self.shards[index]
+        if not shard.active:
+            return {}
+        shard.health = DRAINING
+        pending = self.remote.abort_shard_runs(index)
+        moved = self.drain(index)
+        for run, nodes in pending:
+            self.remote.redispatch(run, nodes)
+        shard.health = DEAD
+        self.failovers.append(
+            (self.kernel.now, index, reason, len(moved)))
+        return moved
+
+    def degraded_info(self) -> Dict[str, object]:
+        """The gateway's degradation verdict: which shards' data is
+        stale, and how stale.  A shard is stale while it is suspect or
+        mid-drain, or dead but still owning nodes (no survivor could
+        adopt them); a completed fail-over clears it — the survivors'
+        data is current, so responses stop carrying the degraded tag.
+        """
+        now = self.kernel.now
+        stale: List[str] = []
+        worst = 0.0
+        for shard in self.shards:
+            if shard.health == SUSPECT and shard.active:
+                is_stale = True
+            elif shard.health == DRAINING:
+                is_stale = True
+            elif shard.health == DEAD and shard.n_nodes > 0:
+                is_stale = True
+            else:
+                is_stale = False
+            if is_stale:
+                stale.append(shard.name)
+                worst = max(worst, now - shard.last_heartbeat)
+        return {"degraded": bool(stale), "stale_shards": stale,
+                "staleness_s": worst if stale else 0.0}
 
     # -- tier-1 entry points ---------------------------------------------------
     def ingest(self, update: Update) -> None:
@@ -182,6 +267,15 @@ class FederationServer:
         if shard is None:
             self.unrouted_updates += 1
             return
+        channel = shard.channel
+        if channel is not None and not channel.up:
+            # The owning shard is unreachable: the update is lost, and
+            # counted — it is the E19 campaign's "updates dropped" cost.
+            # The cheap ``up`` check (no breaker bookkeeping) keeps the
+            # healthy hot path at one extra attribute test per update.
+            self.updates_dropped += 1
+            channel.dropped_ingests += 1
+            return
         shard.server.ingest(update)
 
     def ingest_many(self, updates: List[Update]) -> int:
@@ -196,6 +290,11 @@ class FederationServer:
             shard = self._owner.get(update.hostname)
             if shard is None:
                 self.unrouted_updates += 1
+                continue
+            channel = shard.channel
+            if channel is not None and not channel.up:
+                self.updates_dropped += 1
+                channel.dropped_ingests += 1
                 continue
             if shard is not run_shard and run:
                 applied += run_shard.server.ingest_many(run)
@@ -216,8 +315,14 @@ class FederationServer:
         for shard in self.shards:
             if shard.active:
                 shard.server.start_sweep()
+        # The health monitor rides the sweep lifecycle: it probes
+        # through the channels only (no store writes, no RNG), so an
+        # all-healthy run with it on is golden-trace identical to one
+        # without it.
+        self.monitor.start()
 
     def stop_sweep(self) -> None:
+        self.monitor.stop()
         for shard in self.shards:
             shard.server.stop_sweep()
 
@@ -275,16 +380,44 @@ class FederationServer:
         return summary
 
     def shard_stats(self) -> List[Dict[str, object]]:
-        """Per-shard observability rows (the gateway's /v1/shards)."""
-        return [{
-            "index": shard.index,
-            "name": shard.name,
-            "active": shard.active,
-            "nodes": shard.n_nodes,
+        """Per-shard observability rows (the gateway's /v1/shards).
+
+        Server-side counters are read through the shard channel: an
+        unreachable shard's row reuses its last good numbers instead of
+        failing the whole listing, and carries the live ``health`` /
+        ``heartbeat_age`` columns that say *why* they are stale.
+        """
+        now = self.kernel.now
+        rows: List[Dict[str, object]] = []
+        for shard in self.shards:
+            stats = shard.call(self._read_stats, shard,
+                               default=None, label="shard-stats")
+            if stats is None:
+                stats = self._last_stats.get(shard.index, {
+                    "updates_received": 0, "generation": 0,
+                    "events_active": 0})
+            else:
+                self._last_stats[shard.index] = stats
+            rows.append({
+                "index": shard.index,
+                "name": shard.name,
+                "active": shard.active,
+                "health": shard.health,
+                "heartbeat_age": round(now - shard.last_heartbeat, 3),
+                "nodes": shard.n_nodes,
+                "updates_received": stats["updates_received"],
+                "generation": stats["generation"],
+                "events_active": stats["events_active"],
+            })
+        return rows
+
+    @staticmethod
+    def _read_stats(shard: Shard) -> Dict[str, int]:
+        return {
             "updates_received": shard.server.updates_received,
             "generation": shard.server.store.generation,
             "events_active": shard.server.engine.active_count(),
-        } for shard in self.shards]
+        }
 
     @property
     def managed_hostnames(self) -> List[str]:

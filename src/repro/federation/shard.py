@@ -7,21 +7,35 @@ node subset it owns exclusively.  The federation layer never reaches
 into shard internals; everything it needs (rollups, routing, drain
 migration) goes through the server's public surface, which is what lets
 ``topology="flat"`` and a 1-shard federation stay byte-identical.
+
+Since the self-healing control plane (PR 9) a shard also carries its
+*own* health: the :class:`~repro.federation.monitor.ShardHealthMonitor`
+heartbeats every shard through its
+:class:`~repro.federation.channel.ShardChannel` and walks
+``healthy -> suspect -> dead`` as heartbeats age out; ``draining``
+marks the window while a dead shard's nodes migrate to survivors.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.server import ClusterWorXServer
 
-__all__ = ["Shard"]
+__all__ = ["Shard", "HEALTHY", "SUSPECT", "DEAD", "DRAINING"]
+
+#: shard health states (the /v1/shards ``health`` column).
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+DRAINING = "draining"
 
 
 class Shard:
     """A partition's server plus the federation-side bookkeeping."""
 
-    __slots__ = ("index", "name", "server", "active")
+    __slots__ = ("index", "name", "server", "active", "health",
+                 "last_heartbeat", "channel")
 
     def __init__(self, index: int, name: str, server: ClusterWorXServer):
         #: position in the federation's shard list (stable identity).
@@ -33,6 +47,15 @@ class Shard:
         #: drained shards stay in the list (their index is identity)
         #: but own no nodes and take no new assignments.
         self.active = True
+        #: monitor-maintained health state (drain sets draining/dead).
+        self.health = HEALTHY
+        #: sim time of the last successful heartbeat probe.
+        self.last_heartbeat = 0.0
+        #: the guarded RPC path to this shard; the FederationServer
+        #: attaches one per shard.  ``None`` only for bare Shards built
+        #: directly in unit tests, where :meth:`call` degrades to a
+        #: plain invocation.
+        self.channel: Optional[object] = None
 
     @property
     def n_nodes(self) -> int:
@@ -42,7 +65,15 @@ class Shard:
     def hostnames(self) -> List[str]:
         return self.server.managed_hostnames
 
+    def call(self, fn, *args, **kwargs):
+        """Invoke ``fn`` through this shard's channel (breaker +
+        timeout + fault switches); a channel-less bare shard calls
+        straight through."""
+        if self.channel is None:
+            return fn(*args)
+        return self.channel.call(fn, *args, **kwargs)
+
     def __repr__(self) -> str:
         state = "active" if self.active else "drained"
         return (f"Shard({self.index}, {self.name!r}, {state}, "
-                f"nodes={self.n_nodes})")
+                f"{self.health}, nodes={self.n_nodes})")

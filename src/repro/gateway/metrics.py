@@ -28,6 +28,9 @@ class GatewayMetrics:
         self._lock = threading.Lock()
         self.requests = 0
         self.errors = 0
+        #: server-side failures only (status >= 500) — the E19 campaign
+        #: asserts this stays 0 through a shard fail-over.
+        self.server_errors = 0
         self.bytes_out = 0
         self.by_route: Dict[str, int] = {}
         self._latencies: Deque[float] = deque(maxlen=reservoir)
@@ -45,6 +48,8 @@ class GatewayMetrics:
             self.requests += 1
             if status >= 400:
                 self.errors += 1
+            if status >= 500:
+                self.server_errors += 1
             self.bytes_out += bytes_out
             self.by_route[route] = self.by_route.get(route, 0) + 1
             self._latencies.append(latency_s)
@@ -76,4 +81,5 @@ class GatewayMetrics:
                     self._quantile(ordered, 0.99) * 1e3, 3),
                 "bytes_out": self.bytes_out,
                 "errors": self.errors,
+                "server_errors": self.server_errors,
             }

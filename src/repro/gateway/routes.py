@@ -64,11 +64,15 @@ def build_router(state: GatewayState,
         return 200, [("summary", "cluster", t, values)]
 
     def hosts(request: HttpRequest, params: Dict[str, str]) -> Result:
-        t = state.view.sim_time
-        names = state.hostnames()
-        return 200, [("hosts", "cluster", t,
-                      {"count": len(names),
-                       "nodes": state.folded_hosts()})]
+        view = state.view
+        payload: Dict[str, object] = {
+            "count": len(view.hostnames),
+            "nodes": state.folded_hosts()}
+        if view.degraded:
+            payload["degraded"] = True
+            payload["stale_shards"] = ",".join(view.stale_shards)
+            payload["staleness_s"] = view.staleness_s
+        return 200, [("hosts", "cluster", view.sim_time, payload)]
 
     def host(request: HttpRequest, params: Dict[str, str]) -> Result:
         found = state.host(params["hostname"])
@@ -119,9 +123,14 @@ def build_router(state: GatewayState,
                      for center, mean, lo, hi in graph]
 
     def shards(request: HttpRequest, params: Dict[str, str]) -> Result:
-        t = state.view.sim_time
-        return 200, [("shard", row["name"], t, row)
-                     for row in state.shards()]
+        view = state.view
+        rows = state.shards()
+        if view.degraded:
+            for row in rows:
+                row["degraded"] = True
+                row["stale"] = row.get("name") in view.stale_shards
+        return 200, [("shard", row["name"], view.sim_time, row)
+                     for row in rows]
 
     def stats(request: HttpRequest, params: Dict[str, str]) -> Result:
         return 200, [("stats", "gateway", state.view.sim_time,

@@ -249,9 +249,19 @@ class GatewayService:
                     await asyncio.wait_for(wakeup.wait(),
                                            timeout=self.heartbeat)
                 except asyncio.TimeoutError:
+                    view = self.state.view
+                    payload: Dict[str, object] = {}
+                    if view.degraded:
+                        # A degraded heartbeat tells the watcher its
+                        # stream may be missing deltas from the stale
+                        # shards (scalar values only: the binary wire
+                        # packs no lists).
+                        payload["degraded"] = True
+                        payload["stale_shards"] = ",".join(
+                            view.stale_shards)
+                        payload["staleness_s"] = view.staleness_s
                     beat = wire.encode_stream(
-                        ("end", "heartbeat", self.state.view.sim_time,
-                         {}))
+                        ("end", "heartbeat", view.sim_time, payload))
                     writer.write(beat)
                     await writer.drain()
                     continue

@@ -51,18 +51,29 @@ class PublishedView:
     """
 
     __slots__ = ("snapshot", "summary", "events", "sim_time",
-                 "generation", "hostnames")
+                 "generation", "hostnames", "degraded", "stale_shards",
+                 "staleness_s")
 
     def __init__(self, snapshot: Snapshot,
                  summary: Mapping[str, object],
                  events: Tuple[Tuple[str, str], ...],
-                 sim_time: float):
+                 sim_time: float, *,
+                 degraded: bool = False,
+                 stale_shards: Tuple[str, ...] = (),
+                 staleness_s: float = 0.0):
         self.snapshot = snapshot
         self.summary = summary
         self.events = events
         self.sim_time = sim_time
         self.generation = snapshot.generation
         self.hostnames: Tuple[str, ...] = tuple(sorted(snapshot))
+        #: True while any shard's contribution to this view is stale
+        #: (suspect, mid-drain, or dead-with-nodes); the data served is
+        #: that shard's last good snapshot, and responses say so.
+        self.degraded = degraded
+        self.stale_shards = stale_shards
+        #: worst heartbeat age among the stale shards at capture time.
+        self.staleness_s = staleness_s
 
 
 class GatewayState:
@@ -85,6 +96,10 @@ class GatewayState:
         #: worxsan runtime hook; None (one pointer test per call) when
         #: the sanitizer is off, which is the production configuration.
         self._san = current_sanitizer()
+        #: snapshot-publication stall (fault plane): while kernel time
+        #: is before this, refresh() republishes the existing view.
+        self.stalled_until = 0.0
+        self.publish_stalls = 0
         with self.lock:
             self.view: PublishedView = self._capture()
 
@@ -96,11 +111,28 @@ class GatewayState:
         summary = store.summary()
         summary["events_active"] = self.server.engine.active_count()
         summary["sim_time"] = round(self.server.kernel.now, 3)
+        # Degradation verdict: only a federation reports one (the flat
+        # server has no shard to lose).  The degraded keys are added to
+        # payloads ONLY while degraded, so a healthy run's responses
+        # stay byte-identical to the pre-failover wire format.
+        degraded_of = getattr(self.server, "degraded_info", None)
+        info = degraded_of() if degraded_of is not None else None
+        degraded = bool(info and info["degraded"])
+        stale: Tuple[str, ...] = ()
+        staleness = 0.0
+        if degraded:
+            stale = tuple(info["stale_shards"])
+            staleness = round(float(info["staleness_s"]), 3)
+            summary["degraded"] = True
+            summary["stale_shards"] = ",".join(stale)
+            summary["staleness_s"] = staleness
         view = PublishedView(
             snapshot=store.snapshot(),
             summary=summary,
             events=tuple(self.server.engine.active_events()),
-            sim_time=self.server.kernel.now)
+            sim_time=self.server.kernel.now,
+            degraded=degraded, stale_shards=stale,
+            staleness_s=staleness)
         if self._san is not None:
             self._san.freeze_view(view)
             self._san.record("publish", f"gen={view.generation}")
@@ -116,6 +148,12 @@ class GatewayState:
         a value copy.
         """
         view = self.view
+        if self.server.kernel.now < self.stalled_until:
+            # Publication stalled (fault plane): the world may have
+            # moved on, but the gateway keeps serving the last
+            # published view — stale, never wrong, never a 500.
+            self.publish_stalls += 1
+            return view
         if view.generation == self.server.store.generation \
                 and view.sim_time == self.server.kernel.now:
             self.publish_reuses += 1
@@ -124,6 +162,12 @@ class GatewayState:
         self.view = view  # atomic reference swap; readers see old or new
         self.publishes += 1
         return view
+
+    def stall(self, until: float) -> None:
+        """Suspend publication until sim time ``until`` (fault plane:
+        the "gateway snapshot publication" fault class).  Serving
+        continues off the last published view throughout."""
+        self.stalled_until = until
 
     # -- serving side (all reads off the frozen view) ------------------------
     def summary(self) -> Tuple[float, Mapping[str, object]]:
@@ -197,6 +241,8 @@ class GatewayState:
                 "index": 0,
                 "name": "flat",
                 "active": True,
+                "health": "healthy",
+                "heartbeat_age": 0.0,
                 "nodes": len(view.hostnames),
                 "updates_received": self.server.updates_received,
                 "generation": view.generation,

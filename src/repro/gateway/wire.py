@@ -65,7 +65,8 @@ EVENT_SCHEMA: Tuple[str, ...] = (
 #: frame-kind byte on the binary wire (order is the wire contract).
 _KIND_CODES: Dict[str, int] = {
     "summary": 1, "host": 2, "delta": 3, "event": 4, "stats": 5,
-    "hosts": 6, "error": 7, "end": 8, "evicted": 9, "history": 10}
+    "hosts": 6, "error": 7, "end": 8, "evicted": 9, "history": 10,
+    "shard": 11}
 _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 
 

@@ -27,13 +27,18 @@ from repro.hardware.faults import FaultKind
 from repro.hardware.workload import WorkloadSegment
 from repro.resilience.health import HealthState
 
-__all__ = ["ChaosCampaign", "CampaignReport", "FaultOutcome"]
+__all__ = ["ChaosCampaign", "CampaignReport", "FaultOutcome",
+           "ControlFaultOutcome"]
 
 #: outcome labels
 RECOVERED = "recovered"
 QUARANTINED = "quarantined"
 BENIGN = "benign"          # fault never took the node down
 UNRESOLVED = "unresolved"  # campaign ended mid-playbook
+
+#: control-plane outcome labels (shard/gateway faults)
+FAILED_OVER = "failed-over"    # dead shard drained to survivors
+RODE_THROUGH = "rode-through"  # degraded transiently, recovered in place
 
 
 @dataclass
@@ -63,6 +68,43 @@ class FaultOutcome:
 
 
 @dataclass
+class ControlFaultOutcome:
+    """One *control-plane* fault (shard kill/hang/slow, link
+    partition, gateway publication stall) and how the self-healing
+    control plane absorbed it.
+
+    Lives here — not in :mod:`repro.faults` — so the report type stays
+    at the resilience layer; the fault plane (which imports downward
+    into this module) fills the columns in.
+    """
+
+    target: str                 # "shard1", "gateway"
+    kind: str                   # repro.faults kind label
+    injected_at: float
+    duration: float = 0.0
+    shard: Optional[int] = None
+    detected_at: Optional[float] = None      # first suspect/dead mark
+    failed_over_at: Optional[float] = None   # drain-on-death complete
+    nodes_moved: int = 0
+    updates_dropped: int = 0
+    outcome: str = BENIGN
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        """Injection -> the monitor marking the shard suspect/dead."""
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.injected_at
+
+    @property
+    def redistribute_latency(self) -> Optional[float]:
+        """Detection -> every node re-owned by a survivor."""
+        if self.detected_at is None or self.failed_over_at is None:
+            return None
+        return self.failed_over_at - self.detected_at
+
+
+@dataclass
 class CampaignReport:
     """Typed outcome of one chaos campaign."""
 
@@ -71,6 +113,9 @@ class CampaignReport:
     horizon: float
     settle: float
     faults: List[FaultOutcome] = field(default_factory=list)
+    #: control-plane faults (shard kills etc.) — empty for the classic
+    #: node-only campaigns, so their reports stay byte-identical.
+    control_faults: List[ControlFaultOutcome] = field(default_factory=list)
     notifications: int = 0
     errors: int = 0
 
@@ -121,8 +166,10 @@ class CampaignReport:
     def ok(self) -> bool:
         """Every fault reached a terminal outcome, with no defused
         playbook exceptions left behind."""
-        return self.errors == 0 and not any(
-            f.outcome == UNRESOLVED for f in self.faults)
+        return (self.errors == 0
+                and not any(f.outcome == UNRESOLVED for f in self.faults)
+                and not any(f.outcome == UNRESOLVED
+                            for f in self.control_faults))
 
     # -- rendering -------------------------------------------------------
     def render(self) -> str:
@@ -161,6 +208,25 @@ class CampaignReport:
             f"{self.recovery_rate() * 100:.1f}% of detected | "
             f"{self.notifications} quarantine notification(s) | "
             f"{self.errors} defused error(s)")
+        if self.control_faults:
+            lines.append(
+                f"control-plane faults: {len(self.control_faults)}")
+            lines.append(
+                f"{'T_INJECT':>9} {'TARGET':<14} {'KIND':<13} "
+                f"{'DETECT':>8} {'REDIST':>8} {'MOVED':>6} "
+                f"{'DROPPED':>8} OUTCOME")
+            for fault in self.control_faults:
+                detect = (f"{fault.detection_latency:8.1f}"
+                          if fault.detection_latency is not None else
+                          f"{'-':>8}")
+                redist = (f"{fault.redistribute_latency:8.1f}"
+                          if fault.redistribute_latency is not None else
+                          f"{'-':>8}")
+                lines.append(
+                    f"{fault.injected_at:9.1f} {fault.target:<14} "
+                    f"{fault.kind:<13} {detect} {redist} "
+                    f"{fault.nodes_moved:6d} {fault.updates_dropped:8d} "
+                    f"{fault.outcome}")
         return "\n".join(lines)
 
 
@@ -170,8 +236,9 @@ class ChaosCampaign:
     def __init__(self, cwx, *, n_faults: int = 50,
                  kinds: Sequence[str] = FaultKind.ALL,
                  start: float = 60.0, horizon: float = 900.0,
-                 settle: float = 2700.0, workload_cpu: float = 0.7):
-        if n_faults < 1:
+                 settle: float = 2700.0, workload_cpu: float = 0.7,
+                 control_plane=None):
+        if n_faults < 0 or (n_faults < 1 and control_plane is None):
             raise ValueError("n_faults must be >= 1")
         if n_faults > len(cwx.cluster.hostnames):
             raise ValueError("need at least one node per fault "
@@ -183,6 +250,11 @@ class ChaosCampaign:
         self.horizon = horizon
         self.settle = settle
         self.workload_cpu = workload_cpu
+        #: duck-typed hook (``plan(rng, t0, start, horizon)`` /
+        #: ``score() -> List[ControlFaultOutcome]``) — the concrete
+        #: implementation lives upstack in :mod:`repro.faults`, so this
+        #: layer never imports it.
+        self.control_plane = control_plane
         self.plan: List[FaultOutcome] = []
 
     # -- execution -------------------------------------------------------
@@ -217,6 +289,12 @@ class ChaosCampaign:
             injector.schedule(cwx.cluster.node(hostname), kind, at)
             self.plan.append(FaultOutcome(node=hostname, kind=kind,
                                           injected_at=at))
+
+        # Control-plane faults draw *after* the node plan, so adding a
+        # control plan never perturbs the node-fault schedule for a
+        # given seed.
+        if self.control_plane is not None:
+            self.control_plane.plan(rng, t0, self.start, self.horizon)
 
         cwx.run(self.start + self.horizon + self.settle)
         return self.score()
@@ -256,4 +334,6 @@ class ChaosCampaign:
                 if playbook is not None:
                     fault.rung = playbook.rung_reached
             report.faults.append(fault)
+        if self.control_plane is not None:
+            report.control_faults.extend(self.control_plane.score())
         return report

@@ -207,6 +207,15 @@ class Process(Event):
                 self._stale = set()
             self._stale.add(target)
 
+    @property
+    def is_started(self) -> bool:
+        """Has the generator reached its first yield?  An interrupt can
+        only land inside a *started* generator — thrown earlier it would
+        surface at the function header instead of the current wait."""
+        generator = self._generator
+        return (generator.gi_frame is None or generator.gi_running
+                or generator.gi_suspended)
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process (at the current time)."""
         if not self.is_alive:

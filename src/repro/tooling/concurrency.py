@@ -35,7 +35,7 @@ from __future__ import annotations
 from typing import FrozenSet, Mapping
 
 __all__ = ["CONTEXT_MAP", "SIM_OWNED", "LOCK_GUARDED", "SHARD_ROOTS",
-           "FROZEN_TYPES", "PUBLISHED_ATTRS"]
+           "FANOUT_GUARDED", "FROZEN_TYPES", "PUBLISHED_ATTRS"]
 
 #: ``"rel/path.py"`` (every function in the file) or
 #: ``"rel/path.py::Qual.name"`` -> execution context.
@@ -91,6 +91,13 @@ LOCK_GUARDED: Mapping[str, Mapping[str, str]] = {
 
 #: path prefixes whose code the shard-ownership rule (WORX205) covers.
 SHARD_ROOTS: FrozenSet[str] = frozenset({"repro/federation/"})
+
+#: the federation fan-out modules (WORX107): every ``.server`` read in
+#: these files must run through the breaker-guarded ``call(...)`` idiom
+#: so a dead shard degrades reads instead of crashing them.
+FANOUT_GUARDED: FrozenSet[str] = frozenset({
+    "repro/federation/views.py", "repro/federation/remote.py",
+    "repro/federation/rollup.py"})
 
 #: value types that are immutable once published (WORX202 flags any
 #: mutation reachable from them; their own class bodies are exempt).

@@ -12,8 +12,9 @@ upward is a layering violation.  Cycles are forbidden at any layer.
        resilience
     4  core                        the 3-tier server + facade internals
     5  federation                  sharded control plane over core
-    6  gateway                     async serving front-end over either
-                                   topology
+    6  gateway, faults             async serving front-end over either
+                                   topology; control-plane fault
+                                   injection over federation + gateway
     7  cli, repro/__init__         operator shell / public facade
 
 Keep this table in sync with the DESIGN.md "worxlint" section when a
@@ -44,6 +45,7 @@ LAYER_MAP: Mapping[str, int] = {
     "core": 4,
     "federation": 5,
     "gateway": 6,
+    "faults": 6,
     "cli": 7,
     "": 7,  # the repro/__init__.py facade
 }

@@ -7,6 +7,8 @@ pass with :mod:`repro.tooling.registry`:
     WORX104  subscriber-safety  store callbacks must not re-enter mutators
     WORX105  api-surface     ``__all__`` resolves; imports use exports
     WORX106  handlers        no swallowed exceptions outside handler shells
+    WORX107  fanout-discipline  federation fan-out reads go through the
+                             breaker-guarded channel call idiom
 
 and the worxsan concurrency family:
 
@@ -18,12 +20,12 @@ and the worxsan concurrency family:
 """
 
 from repro.tooling.passes import (api_surface, async_blocking, determinism,
-                                  encapsulation, handlers, layering,
-                                  lock_discipline, shard_ownership,
-                                  snapshot_immutability, subscribers,
-                                  thread_context)
+                                  encapsulation, fanout_discipline,
+                                  handlers, layering, lock_discipline,
+                                  shard_ownership, snapshot_immutability,
+                                  subscribers, thread_context)
 
 __all__ = ["api_surface", "async_blocking", "determinism",
-           "encapsulation", "handlers", "layering", "lock_discipline",
-           "shard_ownership", "snapshot_immutability", "subscribers",
-           "thread_context"]
+           "encapsulation", "fanout_discipline", "handlers", "layering",
+           "lock_discipline", "shard_ownership",
+           "snapshot_immutability", "subscribers", "thread_context"]

@@ -1,0 +1,79 @@
+"""WORX107 — federation fan-out discipline.
+
+The self-healing argument of the sharded control plane rests on one
+idiom: every cross-shard read in the federation's fan-out modules goes
+through the breaker-guarded channel —
+
+    shard.call(lambda: shard.server.store.get(host), default=None,
+               label="store-get")
+
+— so a dead shard degrades the read to its declared default instead of
+raising into a federated view, a gateway handler, or the ingest loop.
+A *bare* ``.server`` attribute access in those modules is exactly the
+pre-fail-over single point of failure this PR removed; one is enough to
+turn a shard kill back into a fleet-wide 500.
+
+Within ``LintConfig.fanout_guarded`` (rel paths, exact match), flagged:
+any ``X.server`` / ``X...server...`` attribute chain that is not
+lexically inside the argument list of a ``*.call(...)`` invocation.
+The lambda body above *is* inside the call's arguments, so the idiom
+passes; hoisting the read out of the lambda does not.  Deliberate raw
+access (e.g. the rehome identity anchor, which must compare object
+identity and not a guarded copy) carries a same-line
+``# worx: ok WORX107`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.tooling.findings import Finding
+from repro.tooling.parse import ParsedModule
+from repro.tooling.registry import LintContext, LintPass, register
+
+__all__ = ["FanoutDisciplinePass"]
+
+
+@register
+class FanoutDisciplinePass(LintPass):
+    rule_id = "WORX107"
+    title = "bare .server access on a federation fan-out path"
+    severity = "error"
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        guarded = ctx.config.fanout_guarded
+        if not guarded:
+            return
+        for module in ctx.modules:
+            if module.rel in guarded:
+                yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        sanctioned = self._sanctioned(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) \
+                    and node.attr == "server" \
+                    and id(node) not in sanctioned:
+                yield self.finding(
+                    module, node,
+                    "bare '.server' access on a fan-out path: route the "
+                    "read through the breaker-guarded call idiom "
+                    "(shard.call(lambda: ..., default=..., label=...)) "
+                    "so a dead shard degrades instead of raising")
+
+    @staticmethod
+    def _sanctioned(tree: ast.AST) -> Set[int]:
+        """Ids of every node lexically inside the argument list of a
+        ``*.call(...)`` invocation (lambda bodies included)."""
+        out: Set[int] = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "call"):
+                continue
+            for arg in list(node.args) + [kw.value
+                                          for kw in node.keywords]:
+                for inner in ast.walk(arg):
+                    out.add(id(inner))
+        return out

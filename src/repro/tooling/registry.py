@@ -65,6 +65,10 @@ class LintConfig:
     published_attrs: FrozenSet[str] = frozenset({"view"})
     #: rel-path prefixes where shard-ownership isolation (WORX205) holds.
     shard_roots: FrozenSet[str] = frozenset()
+    #: rel paths where every ``.server`` access must go through the
+    #: breaker-guarded ``call(...)`` idiom (WORX107) — the federation
+    #: fan-out modules that must degrade, not raise, on a dead shard.
+    fanout_guarded: FrozenSet[str] = frozenset()
     # -- run mechanics ------------------------------------------------------
     #: bypass the parsed-module cache (``--no-cache``).
     no_cache: bool = False

@@ -24,9 +24,10 @@ from typing import Dict, List, Optional, Set
 
 from repro.tooling.findings import Finding, write_baseline
 from repro.tooling.layers import LAYER_MAP
-from repro.tooling.concurrency import (CONTEXT_MAP, FROZEN_TYPES,
-                                       LOCK_GUARDED, PUBLISHED_ATTRS,
-                                       SHARD_ROOTS, SIM_OWNED)
+from repro.tooling.concurrency import (CONTEXT_MAP, FANOUT_GUARDED,
+                                       FROZEN_TYPES, LOCK_GUARDED,
+                                       PUBLISHED_ATTRS, SHARD_ROOTS,
+                                       SIM_OWNED)
 from repro.tooling.parse import parse_tree
 from repro.tooling.registry import LintConfig, LintContext, get_passes
 
@@ -99,6 +100,7 @@ def default_config(root: Optional[Path] = None, *,
                       frozen_types=FROZEN_TYPES,
                       published_attrs=PUBLISHED_ATTRS,
                       shard_roots=SHARD_ROOTS,
+                      fanout_guarded=FANOUT_GUARDED,
                       no_cache=no_cache,
                       cache_path=cache_path,
                       only_paths=(frozenset(only_paths)

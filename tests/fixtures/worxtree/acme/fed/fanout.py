@@ -1,0 +1,12 @@
+"""Fan-out read helper: planted WORX107 (the fixture policy puts this
+file under fan-out discipline — every ``.server`` read must sit inside
+a ``channel.call(...)`` argument list)."""
+
+
+def guarded_rollup(shard):
+    return shard.call(lambda shard=shard: shard.server.store.rollup(),
+                      default=None)
+
+
+def bare_snapshot(shard):
+    return shard.server.store.snapshot()  # WORX107: bypasses the breaker

@@ -22,6 +22,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent
 from bench_e16_scaling import run_cell  # noqa: E402
 from bench_e17_gateway import run_cell as run_gateway_cell  # noqa: E402
 from bench_e18_federation import run_cell as run_fed_cell  # noqa: E402
+from bench_e19_failover import run_gateway_cell as run_failover_cell  # noqa: E402,E501
 
 #: ~5x the observed tiny-cell wall clock (sub-second at time of writing).
 TINY_BUDGET_S = 10.0
@@ -74,3 +75,25 @@ def test_federation_bench_smoke_within_budget():
     assert wall < TINY_BUDGET_S, (
         f"tiny E18 cell took {wall:.1f}s (budget {TINY_BUDGET_S}s) — "
         f"federation routing regression?")
+
+
+#: tiny E19 cell: boot + 240 sim-s served through the real gateway
+#: while shard 1 dies and fails over, observed ~10 s.
+FAILOVER_BUDGET_S = 60.0
+
+
+def test_failover_bench_smoke_within_budget():
+    start = time.perf_counter()
+    row = run_failover_cell(200, shards=4, pollers=4)
+    wall = time.perf_counter() - start
+    # the bench's own acceptance already asserted zero 5xx, full
+    # re-ownership and a resumed watch stream; pin the headline
+    # self-healing numbers to the monitor's escalation thresholds
+    assert row["server_errors"] == 0
+    assert row["nodes_moved"] == 50
+    assert row["time_to_detect_s"] <= 25.0 + 5.0  # down_after + probe
+    assert row["time_to_redistribute_s"] <= 2 * 25.0
+    assert row["watch_gap_s"] <= 90.0
+    assert wall < FAILOVER_BUDGET_S, (
+        f"tiny E19 cell took {wall:.1f}s (budget {FAILOVER_BUDGET_S}s) — "
+        f"fail-over or degraded-serving regression?")

@@ -1,0 +1,243 @@
+"""repro.faults: deterministic control-plane fault injection.
+
+Covers: the FaultPlane scheduling primitives (kill / hang / slow /
+link / restore / gateway stall fire at their planned sim times and
+leave an audit trail), the ControlPlan campaign hook (same seed + spec
+renders byte-identical CampaignReports, and adding a control plan
+never perturbs the node-fault schedule), fail-over scoring (a killed
+shard is detected, drained and re-owned by survivors), and the
+WORX107 fan-out discipline lint that keeps every federation fan-out
+read behind the breaker-guarded channel call idiom.
+"""
+
+import textwrap
+
+import pytest
+
+from repro import ClusterWorX
+from repro.faults import (CONTROL_KINDS, LINK_DOWN, PUBLISH_STALL,
+                          SHARD_HANG, SHARD_KILL, SHARD_SLOW,
+                          ControlPlan, FaultPlane)
+from repro.federation import DEAD, HEALTHY
+from repro.gateway import GatewayState
+from repro.resilience import ChaosCampaign
+from repro.resilience.chaos import FAILED_OVER, RODE_THROUGH
+from repro.tooling import LintConfig, run_lint
+
+
+def make_fed(n=16, shards=4, seed=7, **kwargs):
+    return ClusterWorX(n_nodes=n, seed=seed, monitor_interval=5.0,
+                       topology="federation", shards=shards, **kwargs)
+
+
+def started_fed(**kwargs):
+    """A booted federation plus a plane and its boot-time origin.
+
+    ``cwx.start()`` advances the clock through boot, so fault times are
+    expressed as ``t0 + offset``.
+    """
+    cwx = make_fed(**kwargs)
+    cwx.start()
+    plane = FaultPlane(cwx.kernel, federation=cwx.server)
+    return cwx, plane, cwx.kernel.now
+
+
+class TestFaultPlane:
+    def test_kill_fires_at_planned_time_with_audit(self):
+        cwx, plane, t0 = started_fed()
+        plane.kill_shard(1, at=t0 + 30.0)
+        assert plane.injections == [(t0 + 30.0, SHARD_KILL, "shard1",
+                                     None)]
+        channel = cwx.server.shards[1].channel
+        cwx.run(29.0)
+        assert not channel.killed and channel.up
+        cwx.run(2.0)
+        assert channel.killed and not channel.up
+
+    def test_kill_with_duration_revives(self):
+        cwx, plane, t0 = started_fed(
+            topology_options={"auto_failover": False,
+                              "shard_down_after": 1e9})
+        plane.kill_shard(2, at=t0 + 10.0, duration=20.0)
+        channel = cwx.server.shards[2].channel
+        cwx.run(15.0)
+        assert channel.killed
+        cwx.run(20.0)
+        assert not channel.killed and channel.up
+
+    def test_hang_window_opens_and_closes(self):
+        cwx, plane, t0 = started_fed()
+        plane.hang_shard(0, at=t0 + 5.0, duration=10.0)
+        channel = cwx.server.shards[0].channel
+        cwx.run(6.0)
+        assert channel.hung_until == t0 + 15.0 and not channel.up
+        cwx.run(10.0)
+        assert channel.up
+
+    def test_slow_sets_then_clears_latency(self):
+        cwx, plane, t0 = started_fed()
+        plane.slow_shard(3, at=t0 + 5.0, duration=10.0, latency=9.0)
+        channel = cwx.server.shards[3].channel
+        cwx.run(6.0)
+        assert channel.latency == 9.0 and not channel.up
+        cwx.run(10.0)
+        assert channel.latency == 0.0 and channel.up
+
+    def test_link_down_window(self):
+        cwx, plane, t0 = started_fed()
+        plane.partition_link(1, at=t0 + 5.0, duration=8.0)
+        channel = cwx.server.shards[1].channel
+        cwx.run(6.0)
+        assert channel.link_down_until == t0 + 13.0 and not channel.up
+        cwx.run(8.0)
+        assert channel.up
+
+    def test_restore_clears_everything(self):
+        cwx, plane, t0 = started_fed(
+            topology_options={"auto_failover": False,
+                              "shard_down_after": 1e9})
+        plane.kill_shard(1, at=t0 + 5.0)
+        plane.restore_shard(1, at=t0 + 12.0)
+        channel = cwx.server.shards[1].channel
+        cwx.run(13.0)
+        assert not channel.killed and channel.up
+
+    def test_gateway_stall_needs_state(self):
+        cwx = make_fed()
+        plane = FaultPlane(cwx.kernel, federation=cwx.server)
+        with pytest.raises(ValueError):
+            plane.stall_gateway(10.0, 5.0)
+        with pytest.raises(ValueError):
+            FaultPlane(cwx.kernel).kill_shard(0, at=1.0)
+
+    def test_gateway_stall_sets_window(self):
+        cwx, plane, t0 = started_fed()
+        state = GatewayState(cwx.server)
+        plane.gateway_state = state
+        plane.stall_gateway(at=t0 + 5.0, duration=30.0)
+        cwx.run(6.0)
+        assert state.stalled_until == t0 + 35.0
+
+
+def fed_campaign(seed=21, *, n_control=1, control_kinds=(SHARD_KILL,),
+                 control_plane=True, control_duration=60.0, **kw):
+    kw.setdefault("n_faults", 2)
+    kw.setdefault("horizon", 120.0)
+    kw.setdefault("settle", 1500.0)
+    kw.setdefault("kinds", ("kernel_panic", "os_hang"))
+    cwx = make_fed(seed=seed)
+    plan = None
+    if control_plane:
+        plane = FaultPlane(cwx.kernel, federation=cwx.server)
+        plan = ControlPlan(plane, n_faults=n_control,
+                           kinds=control_kinds,
+                           duration=control_duration)
+    return ChaosCampaign(cwx, control_plane=plan, **kw).execute()
+
+
+class TestControlPlan:
+    def test_same_seed_renders_byte_identical_reports(self):
+        first = fed_campaign(seed=21, n_control=2,
+                             control_kinds=CONTROL_KINDS)
+        second = fed_campaign(seed=21, n_control=2,
+                              control_kinds=CONTROL_KINDS)
+        assert first.render() == second.render()
+        assert "control-plane faults: 2" in first.render()
+
+    def test_control_plan_never_perturbs_node_schedule(self):
+        with_cp = fed_campaign(seed=21)
+        without = fed_campaign(seed=21, control_plane=False)
+        assert [(f.node, f.kind, f.injected_at) for f in with_cp.faults] \
+            == [(f.node, f.kind, f.injected_at) for f in without.faults]
+        assert without.control_faults == []
+
+    def test_shard_kill_scores_failed_over(self):
+        report = fed_campaign(seed=21)
+        (fault,) = report.control_faults
+        assert fault.kind == SHARD_KILL and fault.outcome == FAILED_OVER
+        assert fault.detected_at is not None
+        assert fault.detection_latency > 0.0
+        assert fault.redistribute_latency >= 0.0
+        assert fault.nodes_moved == 4
+        assert report.ok
+        text = report.render()
+        assert "control-plane faults: 1" in text
+        assert FAILED_OVER in text
+
+    def test_transient_hang_rides_through(self):
+        # 18 s of silence crosses suspect_after (12.5 s) but not
+        # down_after (25 s): the monitor flags SUSPECT, the shard
+        # recovers, nothing fails over.
+        report = fed_campaign(seed=21, control_kinds=(SHARD_HANG,),
+                              control_duration=18.0)
+        (fault,) = report.control_faults
+        assert fault.kind == SHARD_HANG
+        assert fault.outcome in (RODE_THROUGH, "benign")
+        assert report.ok
+
+    def test_control_only_campaign_allowed(self):
+        cwx = make_fed(seed=5)
+        plane = FaultPlane(cwx.kernel, federation=cwx.server)
+        plan = ControlPlan(plane, kinds=(SHARD_KILL,))
+        report = ChaosCampaign(cwx, n_faults=0, horizon=120.0,
+                               settle=600.0,
+                               control_plane=plan).execute()
+        assert report.faults == []
+        assert len(report.control_faults) == 1
+
+    def test_survivors_reown_fleet_after_campaign_kill(self):
+        cwx = make_fed(seed=5)
+        plane = FaultPlane(cwx.kernel, federation=cwx.server)
+        plan = ControlPlan(plane, kinds=(SHARD_KILL,))
+        ChaosCampaign(cwx, n_faults=0, horizon=120.0, settle=600.0,
+                      control_plane=plan).execute()
+        (outcome,) = plan.outcomes
+        victim = outcome.shard
+        assert cwx.server.shards[victim].health == DEAD
+        assert all(s.health == HEALTHY for s in cwx.server.shards
+                   if s.index != victim)
+        # every node re-owned by a survivor: full fleet still readable
+        assert len(cwx.server.current_all()) == 16
+
+
+class TestFanoutDisciplineLint:
+    def _lint(self, tmp_path, source):
+        (tmp_path / "mod.py").write_text(textwrap.dedent(source))
+        config = LintConfig(root=tmp_path, package="pkg", layers={},
+                            rules=frozenset({"WORX107"}),
+                            fanout_guarded=frozenset({"mod.py"}))
+        return run_lint(config)
+
+    def test_bare_server_access_flagged(self, tmp_path):
+        result = self._lint(tmp_path, """\
+            def snapshot(shard):
+                return shard.server.store.snapshot()
+            """)
+        assert [f.rule_id for f in result.findings] == ["WORX107"]
+
+    def test_channel_call_idiom_clean(self, tmp_path):
+        result = self._lint(tmp_path, """\
+            def snapshot(shard):
+                return shard.call(
+                    lambda shard=shard: shard.server.store.snapshot(),
+                    default=None)
+            """)
+        assert result.findings == []
+
+    def test_unguarded_files_exempt(self, tmp_path):
+        (tmp_path / "other.py").write_text(
+            "def f(shard):\n    return shard.server\n")
+        config = LintConfig(root=tmp_path, package="pkg", layers={},
+                            rules=frozenset({"WORX107"}),
+                            fanout_guarded=frozenset({"mod.py"}))
+        assert run_lint(config).findings == []
+
+    def test_repo_fanout_paths_hold_clean(self):
+        import pathlib
+
+        from repro.tooling import default_config
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        result = run_lint(default_config(root=src,
+                                         rules={"WORX107"}))
+        assert result.rules == ["WORX107"]
+        assert result.findings == []

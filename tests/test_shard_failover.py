@@ -1,0 +1,401 @@
+"""Control-plane self-healing: shard health monitoring, automatic
+drain-on-death, degraded federated reads, and the drain-race /
+watch-rehome regressions."""
+
+import pytest
+
+from repro import ClusterWorX
+from repro.core.statestore import Update
+from repro.faults import FaultPlane
+from repro.federation import (DEAD, DRAINING, HEALTHY, SUSPECT,
+                              ShardUnavailable)
+from repro.gateway import (GatewayState, WatchClient, WatchHub,
+                           build_router, parse_request)
+
+
+def make_fed(n=20, shards=4, seed=7, **kwargs):
+    cwx = ClusterWorX(n_nodes=n, seed=seed, monitor_interval=5.0,
+                      topology="federation", shards=shards, **kwargs)
+    cwx.start()
+    return cwx
+
+
+def kill(cwx, index, at=None):
+    """Kill shard ``index`` now (or at sim time ``at``)."""
+    plane = FaultPlane(cwx.kernel, federation=cwx.server)
+    plane.kill_shard(index, cwx.kernel.now if at is None else at)
+    return plane
+
+
+class TestChannel:
+    def test_healthy_channel_is_passthrough(self):
+        cwx = make_fed()
+        shard = cwx.server.shards[0]
+        n = shard.call(lambda: shard.server.store.generation,
+                       default=None, label="t")
+        assert n == shard.server.store.generation
+        assert shard.channel.failures == 0
+
+    def test_killed_shard_returns_default_not_exception(self):
+        cwx = make_fed()
+        shard = cwx.server.shards[1]
+        shard.channel.killed = True
+        out = shard.call(lambda: shard.server.store.generation,
+                         default="fallback", label="t")
+        assert out == "fallback"
+        with pytest.raises(ShardUnavailable):
+            shard.call(lambda: shard.server.store.generation)
+
+    def test_breaker_fast_fails_after_threshold(self):
+        cwx = make_fed()
+        shard = cwx.server.shards[1]
+        shard.channel.killed = True
+        for _ in range(5):
+            shard.call(lambda: 1, default=None)
+        assert shard.channel.fast_fails > 0
+        # restore + wait out the breaker reset: calls flow again
+        shard.channel.restore()
+        cwx.run(20)
+        assert shard.call(lambda: 42, default=None) == 42
+
+    def test_latency_above_timeout_is_a_failure(self):
+        cwx = make_fed()
+        shard = cwx.server.shards[2]
+        shard.channel.latency = 10.0  # policy timeout is 2s
+        assert not shard.channel.up
+        assert shard.call(lambda: 1, default="slow") == "slow"
+
+
+class TestMonitorEscalation:
+    def test_all_healthy_monitor_is_invisible(self):
+        cwx = make_fed()
+        cwx.run(120)
+        assert cwx.server.monitor.probes > 0
+        assert cwx.server.monitor.transitions == []
+        assert all(s.health == HEALTHY for s in cwx.server.shards)
+
+    def test_suspect_then_dead_then_failover(self):
+        cwx = make_fed()
+        cwx.run(30)
+        t_kill = cwx.kernel.now
+        kill(cwx, 1)
+        cwx.run(60)
+        monitor = cwx.server.monitor
+        suspected = monitor.detected_at(1, SUSPECT, since=t_kill)
+        dead = monitor.detected_at(1, DEAD, since=t_kill)
+        assert suspected is not None and dead is not None
+        assert t_kill < suspected < dead
+        # escalation respects the configured thresholds
+        assert suspected - t_kill >= monitor.suspect_after
+        assert dead - t_kill >= monitor.down_after
+        # auto fail-over drained the dead shard
+        assert not cwx.server.shards[1].active
+        assert len(cwx.server.failovers) == 1
+        at, index, reason, moved = cwx.server.failovers[0]
+        assert index == 1 and reason == "heartbeat-loss" and moved == 5
+
+    def test_transient_hang_recovers_without_failover(self):
+        cwx = make_fed()
+        cwx.run(30)
+        plane = FaultPlane(cwx.kernel, federation=cwx.server)
+        # shorter than suspect_after (12.5s): never even suspect
+        plane.hang_shard(2, cwx.kernel.now + 1.0, 6.0)
+        cwx.run(60)
+        assert cwx.server.shards[2].health == HEALTHY
+        assert cwx.server.failovers == []
+
+    def test_suspect_recovers_to_healthy(self):
+        cwx = make_fed()
+        cwx.run(30)
+        plane = FaultPlane(cwx.kernel, federation=cwx.server)
+        # long enough to suspect, short of the 25s death threshold
+        plane.hang_shard(2, cwx.kernel.now + 1.0, 16.0)
+        cwx.run(60)
+        monitor = cwx.server.monitor
+        assert monitor.detected_at(2, SUSPECT) is not None
+        assert monitor.detected_at(2, DEAD) is None
+        assert cwx.server.shards[2].health == HEALTHY
+        assert cwx.server.shards[2].active
+
+    def test_single_survivor_never_drains_itself(self):
+        cwx = make_fed(n=8, shards=2)
+        cwx.run(30)
+        kill(cwx, 0)
+        cwx.run(60)
+        kill(cwx, 1)
+        cwx.run(60)
+        # first death failed over; the last shard has no adopter
+        assert len(cwx.server.failovers) == 1
+        assert cwx.server.shards[1].health == DEAD
+        assert cwx.server.shards[1].active
+
+
+class TestFailover:
+    def test_state_and_history_survive(self):
+        cwx = make_fed()
+        cwx.run(60)
+        victim = cwx.server.shards[1]
+        owned = list(victim.server.managed_hostnames)
+        summary_before = cwx.server.cluster_summary()["nodes_total"]
+        kill(cwx, 1)
+        cwx.run(60)
+        assert sorted(cwx.server.managed_hostnames) == \
+            sorted(cwx.cluster.hostnames)
+        for hostname in owned:
+            adopter = cwx.server.owner_of(hostname)
+            assert adopter is not None and adopter.index != 1
+            assert adopter.server.store.get(hostname)
+            assert adopter.server.history.series(hostname,
+                                                 "cpu_util_pct")[0].size
+        assert cwx.server.cluster_summary()["nodes_total"] == \
+            summary_before
+
+    def test_updates_flow_to_adopters_after_failover(self):
+        cwx = make_fed()
+        cwx.run(30)
+        victim_host = cwx.server.shards[1].server.managed_hostnames[0]
+        kill(cwx, 1)
+        cwx.run(60)
+        gen = cwx.server.owner_of(victim_host).server.store.generation
+        cwx.run(30)
+        owner = cwx.server.owner_of(victim_host)
+        assert owner.server.store.generation > gen
+        assert owner.server.store.last_agent_seen(victim_host) > 0
+
+    def test_degraded_info_lifecycle(self):
+        cwx = make_fed()
+        cwx.run(30)
+        assert cwx.server.degraded_info() == {
+            "degraded": False, "stale_shards": [], "staleness_s": 0.0}
+        t_kill = cwx.kernel.now
+        kill(cwx, 1)
+        # run just past suspicion: degraded with the victim named
+        cwx.run(cwx.server.monitor.suspect_after + 6.0)
+        info = cwx.server.degraded_info()
+        assert info["degraded"] is True
+        assert info["stale_shards"] == ["shard1"]
+        assert info["staleness_s"] > 0.0
+        # after fail-over completes the fleet is whole again
+        cwx.run(60)
+        assert cwx.server.degraded_info()["degraded"] is False
+
+    def test_federated_reads_stay_partial_not_raising(self):
+        """Every fan-out surface keeps answering while a shard is dark
+        (pre-fail-over): summaries freeze the dead shard's contribution,
+        snapshots/host reads fall back to last-known, nothing raises."""
+        cwx = make_fed(topology_options={"shard_down_after": 1e9,
+                                         "auto_failover": False})
+        cwx.run(60)
+        victim_host = cwx.server.shards[1].server.managed_hostnames[0]
+        summary_before = cwx.server.cluster_summary()
+        # warm the last-good part cache, as the gateway's every-slice
+        # refresh does — the fallback serves the last snapshot *taken*
+        cwx.server.current_all()
+        kill(cwx, 1)
+        cwx.run(30)
+        summary = cwx.server.cluster_summary()
+        assert summary["nodes_total"] == summary_before["nodes_total"]
+        snap = cwx.server.current_all()
+        assert len(snap) == 20
+        assert cwx.server.current(victim_host)
+        assert cwx.server.store.is_tracked(victim_host)
+        assert cwx.server.engine.active_count() >= 0
+        # generation stays monotone through the outage
+        gen = cwx.server.store.generation
+        cwx.run(30)
+        assert cwx.server.store.generation >= gen
+
+    def test_manual_failover_matches_auto(self):
+        cwx = make_fed()
+        cwx.run(30)
+        moved = cwx.server.fail_over(2)
+        assert len(moved) == 5
+        assert cwx.server.shards[2].health == DEAD
+        assert not cwx.server.shards[2].active
+        assert cwx.server.failovers[0][2] == "manual"
+        assert sorted(cwx.server.managed_hostnames) == \
+            sorted(cwx.cluster.hostnames)
+
+
+class TestDrainRaces:
+    def test_failover_reroutes_inflight_run(self):
+        """The drain-race regression: a remote run in flight on the
+        dying shard is aborted and re-dispatched to the adopters; the
+        logical run still completes ok with a full result set."""
+        cwx = make_fed()
+        cwx.run(30)
+        task = cwx.server.remote.run("uname -r", "@all")
+        assert not task.complete
+        pending = cwx.server.remote.abort_shard_runs(1)
+        moved = cwx.server.drain(1)
+        for run, nodes in pending:
+            cwx.server.remote.redispatch(run, nodes)
+        assert moved and pending
+        while not task.complete:
+            cwx.kernel.run(task.done)
+        assert task.ok
+        assert len(task.results) == 20
+        assert task.reroutes == 1
+        assert all(r.status == "ok" for r in task.results.values())
+
+    def test_mid_run_shard_death_completes_via_monitor(self):
+        """End-to-end: the shard dies mid-run and the *monitor's*
+        fail-over re-routes the stranded targets — the caller just
+        keeps waiting on the same logical run."""
+        cwx = make_fed()
+        cwx.run(30)
+        kill(cwx, 1, at=cwx.kernel.now + 1.0)
+        # a slow command keeps workers in flight across the death
+        task = cwx.server.remote.run("sleep 60", "@all", timeout=300.0)
+        while not task.complete:
+            cwx.kernel.run(task.done)
+        assert task.ok
+        assert len(task.results) == 20
+        assert cwx.server.failovers
+        assert task.reroutes == 1
+
+    def test_dispatch_to_dead_shard_tags_partial_results(self):
+        cwx = make_fed(topology_options={"shard_down_after": 1e9,
+                                         "auto_failover": False})
+        cwx.run(30)
+        kill(cwx, 1)
+        cwx.run(5)
+        task = cwx.server.remote.run_sync("uname -r", "@all")
+        assert task.complete and not task.ok
+        assert task.unreachable_shards == ["shard1"]
+        assert task.counts()["unreachable"] == 5
+        assert task.counts()["ok"] == 15
+
+
+class TestWatchRehome:
+    def test_unfiltered_watch_survives_failover(self):
+        """A cluster-wide watch (the gateway hub's subscription) keeps
+        delivering deltas for the victim's hosts after fail-over, with
+        no duplicates at the handoff."""
+        cwx = make_fed()
+        hub = WatchHub(cwx.server)
+        watcher = hub.register(WatchClient())
+        cwx.run(30)
+        victim_host = cwx.server.shards[1].server.managed_hostnames[0]
+        watcher.drain()
+        kill(cwx, 1)
+        cwx.run(90)  # detection + fail-over + fresh agent updates
+        deltas = [h for h, _, _ in watcher.drain() if h == victim_host]
+        assert deltas, "watch stream went permanently quiet for the " \
+                       "victim's hosts after fail-over"
+        hub.close()
+
+    def test_host_filtered_watch_rehomes_to_adopter(self):
+        cwx = make_fed()
+        cwx.run(30)
+        victim_host = cwx.server.shards[1].server.managed_hostnames[0]
+        seen = []
+        sub = cwx.server.subscribe(seen.append, hosts=[victim_host])
+        assert len(sub.parts) == 1
+        kill(cwx, 1)
+        cwx.run(90)
+        seen.clear()
+        cwx.run(30)
+        assert {u.hostname for u in seen} == {victim_host}
+        assert sub.active
+        # the surviving part now hangs off the adopting shard's store
+        adopter = cwx.server.owner_of(victim_host)
+        assert adopter.index != 1
+
+    def test_rehome_does_not_duplicate_deltas(self):
+        """The migration restore writes are silent: the watcher sees
+        each victim-host update exactly once per agent report, never a
+        burst of synthetic deltas at the drain instant."""
+        cwx = make_fed()
+        hub = WatchHub(cwx.server)
+        watcher = hub.register(WatchClient())
+        cwx.run(30)
+        watcher.drain()
+        cwx.server.fail_over(1)  # instant drain, no sim time passes
+        burst = watcher.drain()
+        assert burst == [], "drain migration leaked synthetic deltas"
+        hub.close()
+
+
+def _get(router, path):
+    """Invoke one route handler socket-free; returns (status, frames)."""
+    request = parse_request(
+        f"GET {path} HTTP/1.1\r\n\r\n".encode("ascii"))
+    route, params = router.resolve(request.path)
+    return route.handler(request, params)
+
+
+class TestGatewayDegraded:
+    def _gateway(self, cwx):
+        state = GatewayState(cwx.server,
+                             resolver=cwx.cluster.group_resolver())
+        return state, build_router(state, lambda: {})
+
+    def test_shards_route_reports_health(self):
+        cwx = make_fed()
+        cwx.run(30)
+        state, router = self._gateway(cwx)
+        state.refresh()
+        status, frames = _get(router, "/v1/shards")
+        assert status == 200 and len(frames) == 4
+        for _, _, _, values in frames:
+            assert values["health"] == "healthy"
+            assert values["heartbeat_age"] >= 0.0
+            assert "degraded" not in values
+
+    def test_degraded_serving_through_failover(self):
+        """Kill a shard under the gateway: every endpoint keeps
+        answering 200, summary/hosts/shards tagged degraded while
+        stale, tags clear once fail-over completes."""
+        cwx = make_fed()
+        state, router = self._gateway(cwx)
+        cwx.run(30)
+        state.refresh()
+        assert "degraded" not in _get(router, "/v1/summary")[1][0][3]
+        kill(cwx, 1)
+        cwx.run(cwx.server.monitor.suspect_after + 6.0)
+        state.refresh()
+        status, frames = _get(router, "/v1/summary")
+        summary = frames[0][3]
+        assert status == 200
+        assert summary["degraded"] is True
+        assert summary["stale_shards"] == "shard1"
+        assert summary["staleness_s"] > 0.0
+        assert summary["nodes_total"] == 20
+        _, frames = _get(router, "/v1/hosts")
+        assert frames[0][3]["degraded"] is True
+        assert frames[0][3]["count"] == 20
+        _, frames = _get(router, "/v1/shards")
+        by_name = {subject: values
+                   for _, subject, _, values in frames}
+        assert by_name["shard1"]["stale"] is True
+        assert by_name["shard0"]["stale"] is False
+        # every other endpoint still answers 200 off the stale view
+        for path in ("/v1/hosts/" + cwx.cluster.hostnames[0],
+                     "/v1/events", "/v1/query?nodes=@all"):
+            assert _get(router, path)[0] == 200
+        # ... fail-over completes: tags clear, fleet intact
+        cwx.run(60)
+        state.refresh()
+        _, frames = _get(router, "/v1/summary")
+        assert "degraded" not in frames[0][3]
+        assert frames[0][3]["nodes_total"] == 20
+
+    def test_publish_stall_keeps_serving_last_view(self):
+        cwx = make_fed()
+        state, router = self._gateway(cwx)
+        cwx.run(30)
+        state.refresh()
+        before = _get(router, "/v1/summary")[1][0][3]
+        plane = FaultPlane(cwx.kernel, federation=cwx.server,
+                           gateway_state=state)
+        plane.stall_gateway(cwx.kernel.now, 60.0)
+        cwx.run(30)
+        state.refresh()
+        during = _get(router, "/v1/summary")[1][0][3]
+        assert during["sim_time"] == before["sim_time"]
+        assert state.publish_stalls > 0
+        cwx.run(60)
+        state.refresh()
+        after = _get(router, "/v1/summary")[1][0][3]
+        assert after["sim_time"] > before["sim_time"]

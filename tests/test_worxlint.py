@@ -30,6 +30,7 @@ FIXTURE_POLICY = {
     "sim_owned": {"acme/srv/state.py": frozenset({"server.engine"})},
     "lock_guarded": {"acme/srv/state.py": {"server.history": "lock"}},
     "shard_roots": frozenset({"acme/fed/"}),
+    "fanout_guarded": frozenset({"acme/fed/fanout.py"}),
 }
 
 #: the one planted violation per rule, by exact rule:path:line key.
@@ -40,6 +41,7 @@ PLANTED = {
     "WORX104": "WORX104:acme/app/flows.py:15",
     "WORX105": "WORX105:acme/mid/__init__.py:7",
     "WORX106": "WORX106:acme/lib/store.py:24",
+    "WORX107": "WORX107:acme/fed/fanout.py:12",
     "WORX201": "WORX201:acme/srv/state.py:19",
     "WORX202": "WORX202:acme/srv/state.py:23",
     "WORX203": "WORX203:acme/srv/state.py:27",
@@ -48,10 +50,11 @@ PLANTED = {
 }
 
 #: what fires without the policy (a bare CLI run on the fixture tree):
-#: WORX201/203/205 need the contexts/guards/shard-roots declarations,
-#: which only ``fixture_config`` supplies.
+#: WORX107/201/203/205 need the fanout-guarded/contexts/guards/
+#: shard-roots declarations, which only ``fixture_config`` supplies.
 CLI_PLANTED = {rule: key for rule, key in PLANTED.items()
-               if rule not in ("WORX201", "WORX203", "WORX205")}
+               if rule not in ("WORX107", "WORX201", "WORX203",
+                               "WORX205")}
 
 
 def fixture_config(**kwargs):
@@ -165,7 +168,7 @@ def test_missing_baseline_is_empty(tmp_path):
 # -- single shared parse -----------------------------------------------------
 
 def test_every_file_parsed_exactly_once():
-    """All eleven passes run off one shared parse: the ast.parse
+    """All twelve passes run off one shared parse: the ast.parse
     counter grows by exactly the number of files in the tree, never
     more.  ``no_cache`` keeps the count honest — with the cache on, a
     warm run parses *zero* files (covered separately below)."""
@@ -173,7 +176,7 @@ def test_every_file_parsed_exactly_once():
                    if "__pycache__" not in p.parts])
     before = parse_count()
     result = run_lint(fixture_config(no_cache=True))
-    assert len(result.rules) == 11
+    assert len(result.rules) == 12
     assert parse_count() - before == n_files == result.modules
 
 
